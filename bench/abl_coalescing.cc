@@ -1,0 +1,92 @@
+// Ablation — log record coalescing (Figure 5 mechanism, §III-E/§IV-I).
+//
+// Quantifies what coalescing buys: log fill rate (slots consumed per
+// checkpoint => forced state-checkpoint frequency) and recovery replay
+// length (records replayed at mount => near-instant runtime recovery).
+#include "bench_util.h"
+
+#include "hw/ram_device.h"
+#include "microfs/microfs.h"
+
+namespace nvmecr::bench {
+namespace {
+
+struct Point {
+  uint64_t appended = 0;
+  uint64_t coalesced = 0;
+  uint64_t state_checkpoints = 0;
+  uint64_t replayed = 0;
+};
+
+Point run(uint32_t window, uint32_t log_slots) {
+  sim::Engine eng;
+  hw::RamDevice dev(4_GiB, 4096);
+  microfs::Options options;
+  options.coalesce_window = window;
+  options.log_slots = log_slots;
+  Point p;
+  {
+    auto fs = eng.run_task(microfs::MicroFs::format(eng, dev, options))
+                  .value();
+    eng.run_task([](microfs::MicroFs& m) -> sim::Task<void> {
+      // Ten checkpoints of 128 MiB, written in 1 MiB chunks (the
+      // sequential N-N stream coalescing exploits).
+      for (int step = 0; step < 10; ++step) {
+        auto fd = co_await m.creat("/ckpt" + std::to_string(step));
+        NVMECR_CHECK(fd.ok());
+        for (int i = 0; i < 128; ++i) {
+          NVMECR_CHECK((co_await m.write_tagged(*fd, 1_MiB)).ok());
+        }
+        NVMECR_CHECK((co_await m.close(*fd)).ok());
+        if (step >= 2) {
+          NVMECR_CHECK(
+              (co_await m.unlink("/ckpt" + std::to_string(step - 2))).ok());
+        }
+      }
+    }(*fs));
+    eng.run();
+    p.appended = fs->log_counters().appended;
+    p.coalesced = fs->log_counters().coalesced;
+    p.state_checkpoints = fs->stats().state_checkpoints;
+  }
+  auto recovered =
+      eng.run_task(microfs::MicroFs::recover(eng, dev, options)).value();
+  p.replayed = recovered->stats().replayed_records;
+  return p;
+}
+
+}  // namespace
+}  // namespace nvmecr::bench
+
+int main() {
+  using namespace nvmecr;
+  using namespace nvmecr::bench;
+
+  print_banner("Ablation: log record coalescing",
+               "log fill rate and recovery replay length "
+               "(10 x 128 MiB checkpoints, 1 MiB writes)");
+  TablePrinter table({"config", "slots consumed", "in-place updates",
+                      "state ckpts", "records replayed at mount"});
+  struct Config {
+    const char* name;
+    uint32_t window;
+    uint32_t slots;
+  };
+  for (const Config& c : {Config{"coalescing on (window 64)", 64, 4096},
+                          Config{"coalescing on, tiny log", 64, 64},
+                          Config{"coalescing off", 0, 4096},
+                          Config{"coalescing off, tiny log", 0, 64}}) {
+    const Point p = run(c.window, c.slots);
+    table.add_row({c.name, TablePrinter::num(p.appended),
+                   TablePrinter::num(p.coalesced),
+                   TablePrinter::num(p.state_checkpoints),
+                   TablePrinter::num(p.replayed)});
+  }
+  table.print();
+  std::printf(
+      "\nMechanism behind §IV-I: coalescing keeps the replay set to a "
+      "handful of records (near-instant runtime recovery, 3.6 s vs ~4 s "
+      "in the paper) and the fill rate low enough that the background "
+      "state checkpointer rarely runs.\n");
+  return 0;
+}

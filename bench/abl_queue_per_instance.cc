@@ -1,0 +1,68 @@
+// Ablation — dedicated hardware queue per microfs instance (Principle 3).
+//
+// A small metadata write (an operation-log record) issued while a large
+// data command is in flight: on its own hardware queue it completes in
+// microseconds; chained in-order behind the data on a shared queue it
+// waits for the data transfer. This is why NVMe-CR gives every instance
+// its own queue — and why very large hugeblocks hurt (Figure 7(a)'s
+// right side): they coarsen what anything sharing the queue waits for.
+#include "bench_util.h"
+
+#include "simcore/event.h"
+
+namespace nvmecr::bench {
+namespace {
+
+SimDuration small_write_latency(bool own_queue, uint64_t data_cmd_bytes) {
+  sim::Engine eng;
+  hw::NvmeSsd ssd(eng, hw::SsdSpec{});
+  const uint32_t nsid = ssd.create_namespace(4_GiB).value();
+  const uint32_t q0 = ssd.alloc_queue().value();
+  const uint32_t q1 = own_queue ? ssd.alloc_queue().value() : q0;
+  auto data_dev = ssd.open_queue(nsid, q0);
+  auto meta_dev = ssd.open_queue(nsid, q1);
+  SimDuration latency = 0;
+  sim::JoinCounter join(eng);
+  join.spawn([](hw::BlockDevice& d, uint64_t bytes) -> sim::Task<void> {
+    NVMECR_CHECK((co_await d.write_tagged(0, bytes, 1)).ok());
+  }(*data_dev, data_cmd_bytes));
+  join.spawn([](sim::Engine& e, hw::BlockDevice& d,
+                SimDuration& out) -> sim::Task<void> {
+    co_await e.yield();  // let the data command submit first
+    const SimTime start = e.now();
+    std::vector<std::byte> record(192, std::byte{0x5a});
+    NVMECR_CHECK((co_await d.write(1_GiB, record)).ok());
+    out = e.now() - start;
+  }(eng, *meta_dev, latency));
+  eng.run();
+  return latency;
+}
+
+}  // namespace
+}  // namespace nvmecr::bench
+
+int main() {
+  using namespace nvmecr;
+  using namespace nvmecr::bench;
+
+  print_banner("Ablation: dedicated hardware queue per instance",
+               "log-record write latency behind an in-flight data command");
+  TablePrinter table({"data command", "shared queue (us)", "own queue (us)",
+                      "head-of-line factor"});
+  for (uint64_t kb : {32u, 256u, 1024u, 4096u, 16384u}) {
+    const uint64_t bytes = static_cast<uint64_t>(kb) << 10;
+    const double shared =
+        static_cast<double>(small_write_latency(false, bytes)) / 1000.0;
+    const double own =
+        static_cast<double>(small_write_latency(true, bytes)) / 1000.0;
+    table.add_row({TablePrinter::num(kb) + " KiB",
+                   TablePrinter::num(shared, 1), TablePrinter::num(own, 1),
+                   TablePrinter::num(shared / own, 1) + "x"});
+  }
+  table.print();
+  std::printf(
+      "\nPrinciple 3: per-instance queues make completion ordering free "
+      "and keep control-plane records out of other instances' data "
+      "shadows.\n");
+  return 0;
+}

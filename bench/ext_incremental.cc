@@ -1,0 +1,36 @@
+// Extension — incremental checkpointing on top of NVMe-CR (§II-B:
+// "complementary to the designs proposed in this paper and can be
+// combined for improved performance").
+//
+// The first checkpoint is full; subsequent ones dump only the dirty
+// fraction. Progress rate rises accordingly — the techniques compose
+// because NVMe-CR never buffers: smaller dumps directly shorten the
+// checkpoint phases.
+#include "bench_util.h"
+
+int main() {
+  using namespace nvmecr;
+  using namespace nvmecr::bench;
+
+  print_banner("Extension: incremental checkpointing",
+               "CoMD 112 procs, 10 checkpoints; dirty fraction sweep");
+  TablePrinter table({"dirty fraction", "ckpt phase total (s)",
+                      "progress rate", "vs full"});
+  double full_time = 0;
+  for (double frac : {1.0, 0.5, 0.25, 0.1}) {
+    ComdParams params = weak_scaling_params(112);
+    params.incremental_fraction = frac;
+    const JobMetrics m = run_nvmecr(params);
+    const double t = to_seconds(m.checkpoint_time);
+    if (frac == 1.0) full_time = t;
+    table.add_row({TablePrinter::num(frac, 2), TablePrinter::num(t, 2),
+                   TablePrinter::num(m.progress_rate(), 3),
+                   pct(1.0 - t / full_time)});
+  }
+  table.print();
+  std::printf(
+      "\nIncremental dumps shrink the checkpoint phases almost "
+      "proportionally — NVMe-CR's unbuffered data plane has no fixed "
+      "per-checkpoint floor beyond the create+log records.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Extension — per-operation latency distributions.
+//
+// The paper reports throughput-level metrics; this bench exposes the
+// latency view underneath them: create and write percentiles per system
+// at 112 processes. NVMe-CR's run-to-completion path keeps tails tight;
+// the comparators' shared-directory serialization shows up as create
+// tail latency orders of magnitude above the median.
+#include "bench_util.h"
+
+int main() {
+  using namespace nvmecr;
+  using namespace nvmecr::bench;
+
+  print_banner("Extension: operation latency percentiles",
+               "CoMD 112 procs; create and 4 MiB write latencies");
+  TablePrinter table({"system", "create p50 (us)", "create p99 (us)",
+                      "write p50 (ms)", "write p99 (ms)"});
+  ComdParams params = weak_scaling_params(112);
+  params.checkpoints = 5;
+
+  struct Row {
+    std::string name;
+    JobMetrics m;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"NVMe-CR", run_nvmecr(params)});
+  rows.push_back({"GlusterFS", run_dfs("GlusterFS", params)});
+  rows.push_back({"OrangeFS", run_dfs("OrangeFS", params)});
+  for (auto& row : rows) {
+    table.add_row(
+        {row.name,
+         TablePrinter::num(row.m.create_latency.percentile(50) / 1e3, 1),
+         TablePrinter::num(row.m.create_latency.percentile(99) / 1e3, 1),
+         TablePrinter::num(row.m.write_latency.percentile(50) / 1e6, 2),
+         TablePrinter::num(row.m.write_latency.percentile(99) / 1e6, 2)});
+  }
+  table.print();
+  std::printf(
+      "\nPrivate namespaces keep NVMe-CR's create tail near its median; "
+      "the comparators' p99 creates queue behind the shared directory.\n"
+      "(Comparator write latencies look low because their writes only "
+      "buffer in the server page cache — the cost lands on fsync; "
+      "NVMe-CR writes are durable when they complete.)\n");
+  return 0;
+}

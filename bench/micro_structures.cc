@@ -1,0 +1,121 @@
+// Micro-benchmarks (google-benchmark) for the real data structures the
+// control plane runs on: the DRAM B+Tree, the circular hugeblock pool,
+// and operation-log record encode/append (with and without coalescing).
+// These measure host CPU, not simulated time — they justify the
+// control-plane cost constants used by the simulation.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "hw/ram_device.h"
+#include "microfs/block_pool.h"
+#include "microfs/bptree.h"
+#include "microfs/oplog.h"
+#include "simcore/engine.h"
+
+namespace nvmecr::microfs {
+namespace {
+
+using namespace nvmecr::literals;
+
+void BM_BpTreeInsert(benchmark::State& state) {
+  const auto n = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    BpTree<uint64_t, uint64_t> tree;
+    state.ResumeTiming();
+    for (uint64_t i = 0; i < n; ++i) tree.insert(mix64(i), i);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BpTreeInsert)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_BpTreeLookup(benchmark::State& state) {
+  const auto n = static_cast<uint64_t>(state.range(0));
+  BpTree<uint64_t, uint64_t> tree;
+  for (uint64_t i = 0; i < n; ++i) tree.insert(mix64(i), i);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.find(mix64(key++ % n)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BpTreeLookup)->Arg(16384)->Arg(131072);
+
+void BM_BpTreePathLookup(benchmark::State& state) {
+  // String-keyed lookups as the microfs namespace uses them.
+  BpTree<std::string, uint64_t> tree;
+  std::vector<std::string> paths;
+  for (int i = 0; i < 4096; ++i) {
+    paths.push_back("/ckpt/step0007/rank" + std::to_string(i) + ".ckpt");
+    tree.insert(paths.back(), static_cast<uint64_t>(i));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.find(paths[i++ % paths.size()]));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BpTreePathLookup);
+
+void BM_BlockPoolAllocFree(benchmark::State& state) {
+  BlockPool pool(1u << 20);
+  for (auto _ : state) {
+    const uint64_t b = pool.alloc().value();
+    benchmark::DoNotOptimize(b);
+    NVMECR_CHECK(pool.free(b).ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BlockPoolAllocFree);
+
+void BM_LogRecordEncode(benchmark::State& state) {
+  LogRecord rec;
+  rec.type = OpType::kWrite;
+  rec.ino = 42;
+  rec.a = 123456789;
+  rec.b = 4 << 20;
+  std::vector<std::byte> buf;
+  for (auto _ : state) {
+    OpLog::encode_record(rec, buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          OpLog::kRecordBytes);
+}
+BENCHMARK(BM_LogRecordEncode);
+
+void BM_OpLogAppend(benchmark::State& state) {
+  const bool coalesce = state.range(0) != 0;
+  sim::Engine eng;
+  hw::RamDevice dev(64_MiB);
+  OpLog log(dev, 0, 8192, coalesce ? 64 : 0);
+  uint64_t off = 0;
+  for (auto _ : state) {
+    LogRecord rec;
+    rec.type = OpType::kWrite;
+    rec.ino = 7;
+    rec.a = off;
+    rec.b = 1_MiB;
+    off += 1_MiB;
+    eng.run_task([](OpLog& l, LogRecord r) -> sim::Task<void> {
+      NVMECR_CHECK((co_await l.append(r)).ok());
+    }(log, rec));
+    if (!coalesce && log.free_slots() == 0) {
+      state.PauseTiming();
+      log.truncate_before(log.begin_epoch());
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OpLogAppend)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace nvmecr::microfs
+
+BENCHMARK_MAIN();

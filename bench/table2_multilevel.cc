@@ -1,0 +1,87 @@
+// Table II — CoMD with multi-level checkpointing at 448 processes:
+// one checkpoint in ten goes to the Lustre-like PFS; first level is
+// OrangeFS, GlusterFS, or NVMe-CR (§IV-I).
+//
+// Paper: checkpoint time 85.9 / 44.5 / 39.5 s, recovery time 3.6 / 4.5 /
+// 3.6 s, progress rate 0.252 / 0.402 / 0.423 (OrangeFS / GlusterFS /
+// NVMe-CR); without log record coalescing NVMe-CR recovery rises to ~4 s.
+#include "bench_util.h"
+
+namespace nvmecr::bench {
+namespace {
+
+workloads::JobMetrics run_with_pfs(const char* name, const ComdParams& params,
+                                   bool coalescing = true) {
+  Cluster cluster;
+  baselines::LustreModel pfs(cluster);
+  if (std::string(name) == "NVMe-CR") {
+    Scheduler sched(cluster);
+    auto job = sched.allocate(params.nranks, params.procs_per_node,
+                              partition_for(params), 8);
+    NVMECR_CHECK(job.ok());
+    RuntimeConfig config = default_runtime_config();
+    if (!coalescing) config.fs.coalesce_window = 0;
+    nvmecr_rt::NvmecrSystem system(cluster, *job, config);
+    auto m = ComdDriver::run(cluster, system, params, &pfs, 10);
+    NVMECR_CHECK(m.ok());
+    return *m;
+  }
+  std::unique_ptr<baselines::StorageSystem> system;
+  if (std::string(name) == "GlusterFS") {
+    system = std::make_unique<baselines::GlusterFsModel>(
+        cluster, params.nranks, params.procs_per_node);
+  } else {
+    system = std::make_unique<baselines::OrangeFsModel>(
+        cluster, params.nranks, params.procs_per_node);
+  }
+  auto m = ComdDriver::run(cluster, *system, params, &pfs, 10);
+  NVMECR_CHECK(m.ok());
+  return *m;
+}
+
+}  // namespace
+}  // namespace nvmecr::bench
+
+int main() {
+  using namespace nvmecr;
+  using namespace nvmecr::bench;
+
+  print_banner("Table II",
+               "CoMD with multi-level checkpointing at 448 processes "
+               "(1-in-10 checkpoints to the Lustre-like PFS)");
+
+  ComdParams params = weak_scaling_params(448);
+
+  TablePrinter table({"metric", "OrangeFS", "GlusterFS", "NVMe-CR"});
+  const workloads::JobMetrics orange = run_with_pfs("OrangeFS", params);
+  const workloads::JobMetrics gluster = run_with_pfs("GlusterFS", params);
+  const workloads::JobMetrics nvmecr = run_with_pfs("NVMe-CR", params);
+  table.add_row({"Checkpoint Time (s)",
+                 TablePrinter::num(to_seconds(orange.checkpoint_time), 1),
+                 TablePrinter::num(to_seconds(gluster.checkpoint_time), 1),
+                 TablePrinter::num(to_seconds(nvmecr.checkpoint_time), 1)});
+  table.add_row({"Recovery Time (s)",
+                 TablePrinter::num(to_seconds(orange.recovery_time), 1),
+                 TablePrinter::num(to_seconds(gluster.recovery_time), 1),
+                 TablePrinter::num(to_seconds(nvmecr.recovery_time), 1)});
+  table.add_row({"Progress Rate",
+                 TablePrinter::num(orange.progress_rate(), 3),
+                 TablePrinter::num(gluster.progress_rate(), 3),
+                 TablePrinter::num(nvmecr.progress_rate(), 3)});
+  table.print();
+
+  // The §IV-I remark: log record coalescing and recovery. See
+  // bench/abl_coalescing for the replay-length mechanism behind the
+  // paper's "recovery takes 4 s without coalescing" note.
+  const workloads::JobMetrics no_coal = run_with_pfs("NVMe-CR", params,
+                                                     /*coalescing=*/false);
+  std::printf(
+      "\nNVMe-CR recovery: %.2f s with coalescing, %.2f s without "
+      "(paper: 3.6 s vs ~4.0 s; the replay-length mechanism is "
+      "quantified by bench/abl_coalescing).\n",
+      to_seconds(nvmecr.recovery_time), to_seconds(no_coal.recovery_time));
+  std::printf(
+      "Paper reference: ckpt 85.9/44.5/39.5 s, recovery 3.6/4.5/3.6 s, "
+      "progress 0.252/0.402/0.423.\n");
+  return 0;
+}

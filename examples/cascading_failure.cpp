@@ -1,0 +1,90 @@
+// Cascading-failure walkthrough (§III-F "Handling Cascading Failures").
+//
+// The balancer already keeps a process and its checkpoint data in
+// separate failure domains; this scenario is the rare double failure:
+// the job AND the storage node holding its newest fast-tier checkpoint
+// die together. Multi-level checkpointing saves the run — the periodic
+// copy on the Lustre-like PFS is intact and restart falls back to it.
+//
+// Run:  ./build/examples/cascading_failure
+#include <cstdio>
+
+#include "baselines/models.h"
+#include "nvmecr/multilevel.h"
+#include "nvmecr/runtime.h"
+
+using namespace nvmecr;
+using namespace nvmecr::literals;
+
+namespace {
+
+sim::Task<void> scenario(nvmecr_rt::Cluster& cluster,
+                         nvmecr_rt::NvmecrSystem& fast_system,
+                         baselines::LustreModel& pfs) {
+  auto fast = (co_await fast_system.connect(0)).value();
+  auto slow = (co_await pfs.connect(0)).value();
+  nvmecr_rt::MultiLevelRouter router(*fast, *slow,
+                                     nvmecr_rt::MultiLevelPolicy(2));
+
+  // Checkpoints 0..3: policy (interval 2) puts 0 and 2 on the PFS.
+  for (uint32_t step = 0; step < 4; ++step) {
+    baselines::StorageClient& tier = router.level_for(step);
+    const std::string path = "/step" + std::to_string(step) + ".ckpt";
+    auto fd = (co_await tier.create(path)).value();
+    for (int i = 0; i < 8; ++i) {
+      NVMECR_CHECK((co_await tier.write(fd, 1_MiB)).ok());
+    }
+    NVMECR_CHECK((co_await tier.fsync(fd)).ok());
+    NVMECR_CHECK((co_await tier.close(fd)).ok());
+    std::printf("checkpoint %u -> %s tier\n", step,
+                router.policy().is_pfs_checkpoint(step) ? "PFS " : "fast");
+  }
+
+  // *** cascading failure: the storage node with the fast tier dies ***
+  const fabric::NodeId lost =
+      fast_system.job().assignment.ssd_nodes[0];
+  cluster.storage_ssd(cluster.storage_ssd_index(lost)).fail_device();
+  std::printf("\n*** storage node %s failed (fast tier lost) ***\n\n",
+              cluster.topology().node(lost).name.c_str());
+
+  // Restart: the newest checkpoint (step 3) lived on the fast tier and
+  // is gone; its read fails...
+  {
+    baselines::StorageClient& tier = router.recovery_level(false);
+    auto fd = co_await tier.open_read("/step3.ckpt");
+    Status s = fd.status();
+    if (fd.ok()) {
+      s = co_await tier.read(*fd, 1_MiB);
+    }
+    std::printf("restart from fast tier: %s\n", s.to_string().c_str());
+    NVMECR_CHECK(!s.ok());
+  }
+  // ...so recovery falls back to the newest PFS checkpoint (step 2).
+  {
+    baselines::StorageClient& tier = router.recovery_level(true);
+    auto fd = (co_await tier.open_read("/step2.ckpt")).value();
+    for (int i = 0; i < 8; ++i) {
+      NVMECR_CHECK((co_await tier.read(fd, 1_MiB)).ok());
+    }
+    NVMECR_CHECK((co_await tier.close(fd)).ok());
+    std::printf("restart from PFS checkpoint step2: OK (8 MiB read back)\n");
+  }
+  std::printf(
+      "\nThe job lost one checkpoint period of progress, not the run — "
+      "the §III-F trade: most checkpoints at NVMe speed, durability "
+      "against cascading failures from the PFS copies.\n");
+}
+
+}  // namespace
+
+int main() {
+  nvmecr_rt::Cluster cluster;
+  nvmecr_rt::Scheduler scheduler(cluster);
+  auto job = scheduler.allocate(1, 28, 256_MiB, 1);
+  NVMECR_CHECK(job.ok());
+  nvmecr_rt::NvmecrSystem fast(cluster, *job, nvmecr_rt::RuntimeConfig{});
+  baselines::LustreModel pfs(cluster);
+  cluster.engine().run_task(scenario(cluster, fast, pfs));
+  std::printf("cascading_failure OK\n");
+  return 0;
+}

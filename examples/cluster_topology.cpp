@@ -1,0 +1,98 @@
+// Cluster topology + storage balancer walkthrough (§III-F, Figure 6),
+// ending with the POSIX interception shim (§III-C) running unmodified
+// "application" calls against a runtime instance.
+//
+// Run:  ./build/examples/cluster_topology
+#include <cstdio>
+
+#include "nvmecr/posix_shim.h"
+#include "nvmecr/runtime.h"
+
+using namespace nvmecr;
+using namespace nvmecr::literals;
+
+int main() {
+  nvmecr_rt::Cluster cluster;
+  const auto& topo = cluster.topology();
+
+  std::printf("cluster: %u nodes in %u racks (failure domains)\n",
+              topo.node_count(), topo.rack_count());
+  for (fabric::RackId r = 0; r < topo.rack_count(); ++r) {
+    const auto nodes = topo.nodes_in_rack(r);
+    std::printf("  rack %u: %zu nodes (%s)\n", r, nodes.size(),
+                topo.node(nodes[0]).role == fabric::NodeRole::kCompute
+                    ? "compute"
+                    : "storage");
+  }
+
+  // Partner failure domains for the compute rack, sorted by switch hops.
+  const auto partners = nvmecr_rt::StorageBalancer::partner_domains(
+      topo, /*domain=*/0, cluster.storage_nodes());
+  std::printf("partner domains of rack 0:");
+  for (auto d : partners) {
+    std::printf(" rack %u (%u hops)", d, topo.rack_distance(0, d));
+  }
+  std::printf("\n");
+
+  // Allocate a 224-rank job: the balancer picks SSDs on partner domains
+  // and round-robins ranks across them (Figure 6).
+  nvmecr_rt::Scheduler scheduler(cluster);
+  auto job = scheduler.allocate(/*nranks=*/224, /*procs_per_node=*/28,
+                                /*partition_bytes=*/256_MiB);
+  NVMECR_CHECK(job.ok());
+  std::printf("\njob: 224 ranks -> %zu SSDs", job->assignment.ssd_nodes.size());
+  for (uint32_t s = 0; s < job->assignment.ssd_nodes.size(); ++s) {
+    std::printf("  [%s: %u ranks]",
+                topo.node(job->assignment.ssd_nodes[s]).name.c_str(),
+                job->assignment.ranks_per_ssd[s]);
+  }
+  std::printf("\nrank 0 -> SSD %u slot %u; rank 223 -> SSD %u slot %u\n",
+              job->assignment.ssd_of_rank[0], job->assignment.slot_of_rank[0],
+              job->assignment.ssd_of_rank[223],
+              job->assignment.slot_of_rank[223]);
+
+  // Every rank's checkpoint data lives outside its own failure domain.
+  bool all_partnered = true;
+  for (uint32_t r = 0; r < 224; ++r) {
+    const auto ssd_node =
+        job->assignment.ssd_nodes[job->assignment.ssd_of_rank[r]];
+    all_partnered &= topo.failure_domain(ssd_node) !=
+                     topo.failure_domain(job->rank_nodes[r]);
+  }
+  std::printf("fault isolation: every rank's data on a partner domain: %s\n",
+              all_partnered ? "yes" : "NO");
+  NVMECR_CHECK(all_partnered);
+
+  // --- the POSIX shim: unmodified application calls (§III-C) -----------
+  nvmecr_rt::NvmecrSystem system(cluster, *job, nvmecr_rt::RuntimeConfig{});
+  nvmecr_rt::PosixShim shim;
+  std::printf("\nintercepted symbols (%zu):",
+              nvmecr_rt::PosixShim::intercepted_symbols().size());
+  for (const auto& sym : nvmecr_rt::PosixShim::intercepted_symbols()) {
+    std::printf(" %s", sym.c_str());
+  }
+  std::printf("\n");
+
+  cluster.engine().run_task([](nvmecr_rt::NvmecrSystem& sys,
+                               nvmecr_rt::PosixShim& sh) -> sim::Task<void> {
+    // MPI_Init wrapper brings the runtime up...
+    std::function<sim::Task<
+        StatusOr<std::unique_ptr<baselines::StorageClient>>>()>
+        connect = [&sys]() { return sys.connect(0); };
+    NVMECR_CHECK((co_await sh.mpi_init(connect)).ok());
+    // ...the "application" just calls POSIX...
+    const int fd = co_await sh.open("/app.ckpt", /*create=*/true);
+    NVMECR_CHECK(fd >= 0);
+    NVMECR_CHECK(co_await sh.write(fd, 4_MiB) == static_cast<int64_t>(4_MiB));
+    NVMECR_CHECK(co_await sh.fsync(fd) == 0);
+    NVMECR_CHECK(co_await sh.close(fd) == 0);
+    std::printf("shim: open/write/fsync/close redirected into the "
+                "runtime (4 MiB checkpoint written)\n");
+    // ...and MPI_Finalize tears the ephemeral runtime down with the job.
+    NVMECR_CHECK((co_await sh.mpi_finalize()).ok());
+  }(system, shim));
+
+  scheduler.release(*job);
+  std::printf("cluster_topology OK\n");
+  return 0;
+}

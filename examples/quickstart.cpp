@@ -1,0 +1,95 @@
+// Quickstart — the microfs public API in five minutes.
+//
+// Formats a MicroFs instance over an in-memory device, exercises the
+// POSIX-style surface (mkdir/creat/write/read/stat/readdir/unlink),
+// shows the metadata-provenance machinery at work (operation log,
+// coalescing, state checkpoints), then remounts with recover() and
+// proves the data survived.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+#include <cstring>
+
+#include "hw/ram_device.h"
+#include "microfs/microfs.h"
+#include "simcore/engine.h"
+
+using namespace nvmecr;
+using namespace nvmecr::literals;
+
+namespace {
+
+sim::Task<void> demo(sim::Engine& eng, hw::RamDevice& dev) {
+  // --- format a fresh private-namespace filesystem --------------------
+  microfs::Options options;
+  options.hugeblock_size = 32_KiB;  // the paper's sweet spot (§IV-B)
+  auto fs = (co_await microfs::MicroFs::format(eng, dev, options)).value();
+  std::printf("formatted: %llu hugeblocks of %llu KiB, %u log slots\n",
+              static_cast<unsigned long long>(fs->data_region_blocks()),
+              static_cast<unsigned long long>(options.hugeblock_size >> 10),
+              fs->log_capacity());
+
+  // --- namespace + byte IO --------------------------------------------
+  NVMECR_CHECK((co_await fs->mkdir("/results")).ok());
+  const int fd = (co_await fs->creat("/results/summary.txt")).value();
+  const char message[] = "NVMe-CR quickstart: hello, ephemeral storage!";
+  std::span<const std::byte> bytes(
+      reinterpret_cast<const std::byte*>(message), sizeof(message));
+  NVMECR_CHECK((co_await fs->write(fd, bytes)).ok());
+  NVMECR_CHECK((co_await fs->close(fd)).ok());
+
+  // --- bulk checkpoint payload (tagged IO) -----------------------------
+  const int ckpt = (co_await fs->creat("/results/rank0.ckpt")).value();
+  for (int i = 0; i < 8; ++i) {
+    NVMECR_CHECK((co_await fs->write_tagged(ckpt, 1_MiB)).ok());
+  }
+  NVMECR_CHECK((co_await fs->fsync(ckpt)).ok());
+  NVMECR_CHECK((co_await fs->close(ckpt)).ok());
+
+  auto names = fs->readdir("/results");
+  std::printf("readdir /results:");
+  for (const auto& n : *names) std::printf(" %s", n.c_str());
+  std::printf("\n");
+  std::printf("rank0.ckpt size: %llu MiB (stat)\n",
+              static_cast<unsigned long long>(
+                  fs->stat("/results/rank0.ckpt")->size >> 20));
+  std::printf("operation log: %llu records appended, %llu coalesced "
+              "in place (Figure 5)\n",
+              static_cast<unsigned long long>(fs->log_counters().appended),
+              static_cast<unsigned long long>(fs->log_counters().coalesced));
+
+  // --- crash + recovery -------------------------------------------------
+  // Drop the instance WITHOUT a clean shutdown; all that survives is the
+  // device: superblock, operation log, dirfiles, data blocks.
+  fs.reset();
+  auto recovered = (co_await microfs::MicroFs::recover(eng, dev, options))
+                       .value();
+  std::printf("recovered: replayed %llu log records\n",
+              static_cast<unsigned long long>(
+                  recovered->stats().replayed_records));
+
+  // Byte content survives byte-exact...
+  const int rfd =
+      (co_await recovered->open("/results/summary.txt",
+                                microfs::OpenFlags::ReadOnly()))
+          .value();
+  std::vector<std::byte> out(sizeof(message));
+  NVMECR_CHECK((co_await recovered->read(rfd, out)).ok());
+  NVMECR_CHECK((co_await recovered->close(rfd)).ok());
+  std::printf("summary.txt after recovery: \"%s\"\n",
+              reinterpret_cast<const char*>(out.data()));
+  // ...and the checkpoint verifies block-for-block against its pattern.
+  NVMECR_CHECK((co_await recovered->verify_tagged("/results/rank0.ckpt")).ok());
+  std::printf("rank0.ckpt content verified after recovery\n");
+}
+
+}  // namespace
+
+int main() {
+  sim::Engine eng;
+  hw::RamDevice dev(256_MiB, 4096);
+  eng.run_task(demo(eng, dev));
+  std::printf("quickstart OK\n");
+  return 0;
+}

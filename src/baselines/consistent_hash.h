@@ -1,0 +1,46 @@
+// Consistent hashing ring with virtual nodes — the GlusterFS-style
+// placement policy (elastic hashing). The paper attributes GlusterFS's
+// load imbalance at low concurrency to exactly this (§I, §IV-C, citing
+// Lamping & Veach): with few files, the ring assigns markedly uneven
+// shares; the variance shrinks as the file count grows.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace nvmecr::baselines {
+
+class ConsistentHashRing {
+ public:
+  /// `vnodes` virtual points per server; more points = lower variance
+  /// (GlusterFS's DHT is comparatively coarse, so the default is small).
+  explicit ConsistentHashRing(uint32_t servers, uint32_t vnodes = 16) {
+    NVMECR_CHECK(servers > 0);
+    for (uint32_t s = 0; s < servers; ++s) {
+      for (uint32_t v = 0; v < vnodes; ++v) {
+        ring_.emplace(mix64((static_cast<uint64_t>(s) << 32) | v), s);
+      }
+    }
+  }
+
+  /// Server responsible for `key`.
+  uint32_t place(const std::string& key) const {
+    const uint64_t h = mix64(fnv1a(key.data(), key.size()));
+    auto it = ring_.lower_bound(h);
+    if (it == ring_.end()) it = ring_.begin();
+    return it->second;
+  }
+
+  size_t points() const { return ring_.size(); }
+
+ private:
+  std::map<uint64_t, uint32_t> ring_;  // point -> server
+};
+
+}  // namespace nvmecr::baselines

@@ -1,0 +1,70 @@
+// Common client API every storage system under evaluation implements —
+// NVMe-CR itself, the kernel filesystems, and the distributed-FS
+// comparator models. The CoMD workload driver is written once against
+// this surface and reruns identically over each system, which is what
+// makes the efficiency/figure comparisons apples-to-apples.
+//
+// Semantics mirror the intercepted POSIX subset (§III-C): N-N checkpoint
+// streams are created, appended with bulk payload, fsync'ed, closed, and
+// later re-opened and read back (with content verification where the
+// backend can provide it).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "simcore/task.h"
+
+namespace nvmecr::baselines {
+
+/// One process's session with a storage system.
+class StorageClient {
+ public:
+  virtual ~StorageClient() = default;
+
+  /// creat(2): makes (or truncates) the file, open for writing.
+  virtual sim::Task<StatusOr<int>> create(const std::string& path) = 0;
+  /// open(2) read-only.
+  virtual sim::Task<StatusOr<int>> open_read(const std::string& path) = 0;
+  /// Appends `len` bulk checkpoint bytes.
+  virtual sim::Task<Status> write(int fd, uint64_t len) = 0;
+  /// Reads `len` bytes at the read cursor (verifying where supported).
+  virtual sim::Task<Status> read(int fd, uint64_t len) = 0;
+  virtual sim::Task<Status> fsync(int fd) = 0;
+  virtual sim::Task<Status> close(int fd) = 0;
+  virtual sim::Task<Status> unlink(const std::string& path) = 0;
+};
+
+/// A deployed storage system: hands out per-rank clients and exposes the
+/// accounting the figures need.
+class StorageSystem {
+ public:
+  virtual ~StorageSystem() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Establishes rank `rank`'s session. Called once per process during
+  /// job initialization (the only coordinated step, §III-C).
+  virtual sim::Task<StatusOr<std::unique_ptr<StorageClient>>> connect(
+      int rank) = 0;
+
+  /// Peak hardware bandwidth this deployment could theoretically deliver
+  /// (denominator of the paper's efficiency metric, §IV-H).
+  virtual uint64_t hardware_peak_write_bw() const = 0;
+  virtual uint64_t hardware_peak_read_bw() const = 0;
+
+  /// Bytes stored per storage server (Figure 7(b) load CoV).
+  virtual std::vector<uint64_t> bytes_per_server() const = 0;
+
+  /// Device bytes attributable to metadata (Table I).
+  virtual uint64_t metadata_bytes() const = 0;
+
+  /// Simulated time the system's clients spent inside kernel code
+  /// (§IV-D); zero for pure-userspace systems.
+  virtual SimDuration kernel_time() const { return 0; }
+};
+
+}  // namespace nvmecr::baselines

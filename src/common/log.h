@@ -1,0 +1,26 @@
+// Minimal leveled diagnostic logging. Off by default so bench output stays
+// clean; enable with NVMECR_LOG=debug|info|warn in the environment.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace nvmecr {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
+
+/// Current threshold, parsed once from $NVMECR_LOG.
+LogLevel log_threshold();
+
+/// printf-style log statement; no-op below the threshold.
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define NVMECR_LOG_DEBUG(...) \
+  ::nvmecr::log_message(::nvmecr::LogLevel::kDebug, __VA_ARGS__)
+#define NVMECR_LOG_INFO(...) \
+  ::nvmecr::log_message(::nvmecr::LogLevel::kInfo, __VA_ARGS__)
+#define NVMECR_LOG_WARN(...) \
+  ::nvmecr::log_message(::nvmecr::LogLevel::kWarn, __VA_ARGS__)
+
+}  // namespace nvmecr

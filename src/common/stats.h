@@ -1,0 +1,115 @@
+// Streaming and batch statistics used by the metrics layer:
+// mean, stdev, coefficient of variation (Figure 7(b)), percentiles.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace nvmecr {
+
+/// Welford streaming accumulator: numerically stable mean/variance without
+/// storing samples. Used for per-server load and latency aggregation.
+class StreamingStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+    sum_ += x;
+  }
+
+  uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Population variance (the paper reports CoV over the fixed set of
+  /// storage servers, a population, not a sample).
+  double variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stdev() const { return std::sqrt(variance()); }
+
+  /// Coefficient of variation = stdev / mean; 0 when mean is 0.
+  double cov() const {
+    const double m = mean();
+    return m != 0.0 ? stdev() / m : 0.0;
+  }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch sample set with percentile queries (sorts lazily on demand).
+class Samples {
+ public:
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;
+  }
+  size_t size() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+
+  double mean() const {
+    if (xs_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : xs_) s += x;
+    return s / static_cast<double>(xs_.size());
+  }
+
+  double stdev() const {
+    if (xs_.size() < 2) return 0.0;
+    const double m = mean();
+    double s = 0.0;
+    for (double x : xs_) s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(xs_.size()));
+  }
+
+  double cov() const {
+    const double m = mean();
+    return m != 0.0 ? stdev() / m : 0.0;
+  }
+
+  /// Percentile in [0, 100] by nearest-rank on the sorted samples.
+  double percentile(double p) {
+    if (xs_.empty()) return 0.0;
+    ensure_sorted();
+    const double rank = p / 100.0 * static_cast<double>(xs_.size() - 1);
+    const auto lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, xs_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return xs_[lo] * (1.0 - frac) + xs_[hi] * frac;
+  }
+
+  double min() {
+    ensure_sorted();
+    return xs_.empty() ? 0.0 : xs_.front();
+  }
+  double max() {
+    ensure_sorted();
+    return xs_.empty() ? 0.0 : xs_.back();
+  }
+
+  const std::vector<double>& values() const { return xs_; }
+
+ private:
+  void ensure_sorted() {
+    if (!sorted_) {
+      std::sort(xs_.begin(), xs_.end());
+      sorted_ = true;
+    }
+  }
+  std::vector<double> xs_;
+  bool sorted_ = true;
+};
+
+}  // namespace nvmecr

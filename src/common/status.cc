@@ -1,0 +1,26 @@
+#include "common/status.h"
+
+namespace nvmecr {
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kExists: return "EXISTS";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNoSpace: return "NO_SPACE";
+    case ErrorCode::kNotDirectory: return "NOT_DIRECTORY";
+    case ErrorCode::kIsDirectory: return "IS_DIRECTORY";
+    case ErrorCode::kBadFd: return "BAD_FD";
+    case ErrorCode::kPermission: return "PERMISSION";
+    case ErrorCode::kNotEmpty: return "NOT_EMPTY";
+    case ErrorCode::kNameTooLong: return "NAME_TOO_LONG";
+    case ErrorCode::kIoError: return "IO_ERROR";
+    case ErrorCode::kCorruption: return "CORRUPTION";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace nvmecr

@@ -1,0 +1,176 @@
+// Lightweight Status / StatusOr error-handling kit.
+//
+// The runtime avoids exceptions on IO paths (run-to-completion pipelines,
+// see microfs Principle 1); fallible operations return Status or
+// StatusOr<T>. Fatal programming errors abort via NVMECR_CHECK.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace nvmecr {
+
+/// Error categories, deliberately close to errno names so the POSIX shim
+/// can map them 1:1 onto errno values.
+enum class ErrorCode : int {
+  kOk = 0,
+  kNotFound,       // ENOENT
+  kExists,         // EEXIST
+  kInvalidArgument,// EINVAL
+  kNoSpace,        // ENOSPC
+  kNotDirectory,   // ENOTDIR
+  kIsDirectory,    // EISDIR
+  kBadFd,          // EBADF
+  kPermission,     // EACCES
+  kNotEmpty,       // ENOTEMPTY
+  kNameTooLong,    // ENAMETOOLONG
+  kIoError,        // EIO
+  kCorruption,     // data integrity check failed
+  kUnavailable,    // resource (queue/namespace) exhausted
+  kInternal,       // invariant violation
+};
+
+/// Returns the canonical string for an ErrorCode (e.g. "NOT_FOUND").
+std::string_view error_code_name(ErrorCode code);
+
+/// Value-semantic status: an ErrorCode plus an optional message.
+/// The OK status carries no allocation.
+class Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string.
+  std::string to_string() const {
+    if (ok()) return "OK";
+    std::string s(error_code_name(code_));
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+#define NVMECR_DEFINE_ERROR_FACTORY(Name, Code)              \
+  inline Status Name(std::string message = {}) {             \
+    return Status(ErrorCode::Code, std::move(message));      \
+  }
+
+NVMECR_DEFINE_ERROR_FACTORY(NotFoundError, kNotFound)
+NVMECR_DEFINE_ERROR_FACTORY(ExistsError, kExists)
+NVMECR_DEFINE_ERROR_FACTORY(InvalidArgumentError, kInvalidArgument)
+NVMECR_DEFINE_ERROR_FACTORY(NoSpaceError, kNoSpace)
+NVMECR_DEFINE_ERROR_FACTORY(NotDirectoryError, kNotDirectory)
+NVMECR_DEFINE_ERROR_FACTORY(IsDirectoryError, kIsDirectory)
+NVMECR_DEFINE_ERROR_FACTORY(BadFdError, kBadFd)
+NVMECR_DEFINE_ERROR_FACTORY(PermissionError, kPermission)
+NVMECR_DEFINE_ERROR_FACTORY(NotEmptyError, kNotEmpty)
+NVMECR_DEFINE_ERROR_FACTORY(NameTooLongError, kNameTooLong)
+NVMECR_DEFINE_ERROR_FACTORY(IoError, kIoError)
+NVMECR_DEFINE_ERROR_FACTORY(CorruptionError, kCorruption)
+NVMECR_DEFINE_ERROR_FACTORY(UnavailableError, kUnavailable)
+NVMECR_DEFINE_ERROR_FACTORY(InternalError, kInternal)
+
+#undef NVMECR_DEFINE_ERROR_FACTORY
+
+/// Either a T or a non-OK Status. Access to value() on error aborts.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : repr_(std::move(status)) {}  // NOLINT
+  StatusOr(T value) : repr_(std::move(value)) {}         // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  T& value() & {
+    check_ok();
+    return std::get<T>(repr_);
+  }
+  const T& value() const& {
+    check_ok();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    check_ok();
+    return std::get<T>(std::move(repr_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void check_ok() const {
+    if (!ok()) {
+      std::fprintf(stderr, "StatusOr::value() on error: %s\n",
+                   std::get<Status>(repr_).to_string().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<Status, T> repr_;
+};
+
+/// Fatal invariant check; always on (cheap compared to simulated IO).
+#define NVMECR_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,         \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Propagate a non-OK Status from an expression returning Status.
+#define NVMECR_RETURN_IF_ERROR(expr)              \
+  do {                                            \
+    ::nvmecr::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+/// Coroutine variant: co_returns the Status (a plain `return` is illegal
+/// inside a coroutine body).
+#define NVMECR_CO_RETURN_IF_ERROR(expr)           \
+  do {                                            \
+    ::nvmecr::Status _st = (expr);                \
+    if (!_st.ok()) co_return _st;                 \
+  } while (0)
+
+/// Assign the value of a StatusOr expression or propagate its Status.
+#define NVMECR_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto NVMECR_CONCAT_(_sor, __LINE__) = (expr);   \
+  if (!NVMECR_CONCAT_(_sor, __LINE__).ok())       \
+    return NVMECR_CONCAT_(_sor, __LINE__).status(); \
+  lhs = std::move(NVMECR_CONCAT_(_sor, __LINE__)).value()
+
+#define NVMECR_CONCAT_IMPL_(a, b) a##b
+#define NVMECR_CONCAT_(a, b) NVMECR_CONCAT_IMPL_(a, b)
+
+}  // namespace nvmecr

@@ -1,0 +1,79 @@
+// Fixed-width ASCII table printer for bench binaries: every figure/table
+// reproduction prints its rows through this so output stays uniform.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace nvmecr {
+
+/// Collects rows of string cells and prints an aligned table with a
+/// header rule. Cells are right-aligned except the first column.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Convenience: formats a double with the given precision.
+  static std::string num(double v, int precision = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+  }
+  static std::string num(uint64_t v) { return std::to_string(v); }
+  static std::string num(uint32_t v) { return std::to_string(v); }
+  static std::string num(int64_t v) { return std::to_string(v); }
+  static std::string num(int v) { return std::to_string(v); }
+
+  void print(FILE* out = stdout) const {
+    std::vector<size_t> width(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = row[c].size() > width[c] ? row[c].size() : width[c];
+      }
+    }
+    print_row(out, header_, width);
+    std::string rule;
+    for (size_t c = 0; c < width.size(); ++c) {
+      rule += std::string(width[c] + 2, '-');
+      if (c + 1 < width.size()) rule += "+";
+    }
+    std::fprintf(out, "%s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(out, row, width);
+  }
+
+ private:
+  static void print_row(FILE* out, const std::vector<std::string>& row,
+                        const std::vector<size_t>& width) {
+    for (size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : empty_();
+      if (c == 0) {
+        std::fprintf(out, " %-*s ", static_cast<int>(width[c]), cell.c_str());
+      } else {
+        std::fprintf(out, " %*s ", static_cast<int>(width[c]), cell.c_str());
+      }
+      if (c + 1 < width.size()) std::fputc('|', out);
+    }
+    std::fputc('\n', out);
+  }
+  static const std::string& empty_() {
+    static const std::string kEmpty;
+    return kEmpty;
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a bench section banner (figure/table id + description).
+inline void print_banner(const char* id, const char* description) {
+  std::printf("\n=== %s — %s ===\n", id, description);
+}
+
+}  // namespace nvmecr

@@ -1,0 +1,115 @@
+// RDMA network model.
+//
+// Each node gets a full-duplex NIC (independent tx/rx FIFO bandwidth
+// resources at the EDR rate). A transfer books the sender's tx pipe and
+// the receiver's rx pipe, chunked so concurrent flows share fairly, and
+// pays a propagation latency proportional to switch hops. The non-
+// blocking switch fabric itself is not a bottleneck (EDR fat trees are
+// provisioned that way), so only NICs limit bandwidth.
+//
+// rpc() models a request/response exchange (metadata server models,
+// NVMf command+completion).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "fabric/topology.h"
+#include "simcore/engine.h"
+#include "simcore/resource.h"
+
+namespace nvmecr::fabric {
+
+using namespace nvmecr::literals;
+
+struct NetworkParams {
+  /// Per-direction NIC bandwidth. 100 Gbps EDR ≈ 12.5 GB/s.
+  uint64_t nic_bw = 12500_MBps;
+  /// Base one-way latency (NIC + PCIe + first switch).
+  SimDuration base_latency = 1_us;
+  /// Added latency per switch hop.
+  SimDuration per_hop_latency = 150;  // ns
+  /// Chunk size for fair sharing of a NIC among concurrent flows.
+  uint64_t fair_chunk = 256_KiB;
+};
+
+class Network {
+ public:
+  Network(sim::Engine& engine, const Topology& topology,
+          NetworkParams params = {})
+      : engine_(engine), topology_(topology), params_(params) {
+    nics_.reserve(topology.node_count());
+    for (uint32_t n = 0; n < topology.node_count(); ++n) {
+      nics_.push_back(Nic{
+          sim::BandwidthResource(engine, params_.nic_bw),
+          sim::BandwidthResource(engine, params_.nic_bw),
+      });
+    }
+  }
+
+  const Topology& topology() const { return topology_; }
+  const NetworkParams& params() const { return params_; }
+
+  /// One-way latency between two nodes.
+  SimDuration latency(NodeId src, NodeId dst) const {
+    if (src == dst) return 0;  // loopback: no wire
+    return params_.base_latency +
+           static_cast<SimDuration>(topology_.hops(src, dst)) *
+               params_.per_hop_latency;
+  }
+
+  /// Moves `bytes` from `src` to `dst`; completes when the last byte has
+  /// arrived. Same-node transfers are free (shared memory).
+  sim::Task<void> transfer(NodeId src, NodeId dst, uint64_t bytes) {
+    if (src == dst || bytes == 0) {
+      if (bytes == 0 && src != dst) co_await engine_.delay(latency(src, dst));
+      co_return;
+    }
+    Nic& s = nics_[src];
+    Nic& d = nics_[dst];
+    const uint64_t chunk = params_.fair_chunk;
+    SimTime arrive = engine_.now();
+    uint64_t left = bytes;
+    while (left > 0) {
+      const uint64_t piece = left < chunk ? left : chunk;
+      const SimTime tx_done = s.tx.reserve(piece);
+      arrive = d.rx.reserve_after(tx_done, piece);
+      left -= piece;
+      // Pace on the tx pipe (suspending per chunk lets concurrent flows
+      // interleave their reservations — fair sharing); the rx side
+      // pipelines: chunk k is received while chunk k+1 transmits.
+      if (left > 0) co_await engine_.sleep_until(tx_done);
+    }
+    co_await engine_.sleep_until(arrive);
+    co_await engine_.delay(latency(src, dst));
+  }
+
+  /// Request/response exchange; completes at the requester when the
+  /// response has fully arrived. Server-side processing time is the
+  /// callee's business (co_await between the halves if needed) — this
+  /// convenience assumes zero server time.
+  sim::Task<void> rpc(NodeId client, NodeId server, uint64_t request_bytes,
+                      uint64_t response_bytes) {
+    co_await transfer(client, server, request_bytes);
+    co_await transfer(server, client, response_bytes);
+  }
+
+  /// Bytes a NIC has currently queued for transmit, as drain time.
+  SimDuration tx_backlog(NodeId node) const {
+    return nics_[node].tx.backlog();
+  }
+
+ private:
+  struct Nic {
+    sim::BandwidthResource tx;
+    sim::BandwidthResource rx;
+  };
+
+  sim::Engine& engine_;
+  const Topology& topology_;
+  NetworkParams params_;
+  std::vector<Nic> nics_;
+};
+
+}  // namespace nvmecr::fabric

@@ -1,0 +1,103 @@
+// Cluster topology: racks of nodes joined by a two-level fat tree
+// (top-of-rack switches + spine), as in the paper's testbed (§IV-A: one
+// compute rack, one storage rack, EDR InfiniBand).
+//
+// The storage balancer consumes this to (a) derive failure domains —
+// nodes sharing a rack/PDU fail together — and (b) order partner domains
+// by switch hop distance (§III-F).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nvmecr::fabric {
+
+/// Index of a node within the cluster.
+using NodeId = uint32_t;
+/// Index of a rack (also the failure-domain id: nodes in one rack share
+/// a ToR switch and a power distribution unit).
+using RackId = uint32_t;
+
+enum class NodeRole { kCompute, kStorage };
+
+struct NodeInfo {
+  NodeId id = 0;
+  RackId rack = 0;
+  NodeRole role = NodeRole::kCompute;
+  std::string name;
+};
+
+class Topology {
+ public:
+  /// Adds a rack of `count` nodes with the given role; returns its id.
+  RackId add_rack(uint32_t count, NodeRole role,
+                  const std::string& prefix = "node") {
+    const RackId rack = static_cast<RackId>(rack_count_++);
+    for (uint32_t i = 0; i < count; ++i) {
+      NodeInfo info;
+      info.id = static_cast<NodeId>(nodes_.size());
+      info.rack = rack;
+      info.role = role;
+      info.name = prefix + std::to_string(info.id);
+      nodes_.push_back(std::move(info));
+    }
+    return rack;
+  }
+
+  uint32_t node_count() const { return static_cast<uint32_t>(nodes_.size()); }
+  uint32_t rack_count() const { return rack_count_; }
+
+  const NodeInfo& node(NodeId id) const {
+    NVMECR_CHECK(id < nodes_.size());
+    return nodes_[id];
+  }
+  RackId rack_of(NodeId id) const { return node(id).rack; }
+
+  std::vector<NodeId> nodes_in_rack(RackId rack) const {
+    std::vector<NodeId> out;
+    for (const auto& n : nodes_) {
+      if (n.rack == rack) out.push_back(n.id);
+    }
+    return out;
+  }
+
+  std::vector<NodeId> nodes_with_role(NodeRole role) const {
+    std::vector<NodeId> out;
+    for (const auto& n : nodes_) {
+      if (n.role == role) out.push_back(n.id);
+    }
+    return out;
+  }
+
+  /// Switch hops between two nodes in the two-level tree:
+  /// 0 (same node), 2 (same rack, via the ToR), 4 (via the spine).
+  uint32_t hops(NodeId a, NodeId b) const {
+    if (a == b) return 0;
+    return rack_of(a) == rack_of(b) ? 2 : 4;
+  }
+
+  /// Hop distance between two racks (0 = same rack, 4 = via spine); the
+  /// storage balancer sorts partner domains by this.
+  uint32_t rack_distance(RackId a, RackId b) const { return a == b ? 0 : 4; }
+
+  /// Failure domain of a node: its rack (shared ToR + PDU, §III-F).
+  RackId failure_domain(NodeId id) const { return rack_of(id); }
+
+  /// The paper's testbed: 16 compute nodes in one rack, 8 storage nodes
+  /// in another.
+  static Topology paper_testbed() {
+    Topology t;
+    t.add_rack(16, NodeRole::kCompute, "compute");
+    t.add_rack(8, NodeRole::kStorage, "storage");
+    return t;
+  }
+
+ private:
+  std::vector<NodeInfo> nodes_;
+  uint32_t rack_count_ = 0;
+};
+
+}  // namespace nvmecr::fabric

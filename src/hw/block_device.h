@@ -1,0 +1,153 @@
+// Abstract awaitable block device.
+//
+// Everything that stores bytes in the system — the simulated NVMe SSD seen
+// through one hardware queue, a RAM device for tests/examples, the NVMf
+// remote device, a partition view — implements this interface. Two IO
+// flavors are provided:
+//
+//  * byte IO (write/read): moves real bytes; used for all metadata
+//    (directory files, operation log, state checkpoints) and by tests
+//    that verify byte-exact persistence.
+//  * tagged IO (write_tagged/read_tagged): timing-identical to byte IO
+//    but the content is a deterministic pattern identified by a seed, so
+//    simulating a 700 GB checkpoint costs O(extents) host memory. The
+//    device derives a per-block tag from (seed, absolute block index);
+//    readers verify by recomputing the same combination (see
+//    PayloadStore::combine_tags).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/status.h"
+#include "simcore/task.h"
+
+namespace nvmecr::hw {
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  /// Usable capacity in bytes of this view.
+  virtual uint64_t capacity() const = 0;
+
+  /// Hardware block size (tagged IO must be aligned to it).
+  virtual uint32_t hw_block_size() const = 0;
+
+  /// Absolute byte offset of this view's origin on the physical medium.
+  /// Pattern tags are a function of the *absolute* block index (see
+  /// PayloadStore::block_tag), so verifiers above a translated view add
+  /// this to their local offsets when computing expected tags.
+  virtual uint64_t tag_origin() const { return 0; }
+
+  /// Writes real bytes at `offset`.
+  virtual sim::Task<Status> write(uint64_t offset,
+                                  std::span<const std::byte> data) = 0;
+
+  /// Reads real bytes previously written with write().
+  virtual sim::Task<Status> read(uint64_t offset,
+                                 std::span<std::byte> out) = 0;
+
+  /// Writes `len` pattern bytes identified by `seed` (hw-block aligned).
+  virtual sim::Task<Status> write_tagged(uint64_t offset, uint64_t len,
+                                         uint64_t seed) = 0;
+
+  /// Reads back the combined tag over [offset, offset+len).
+  virtual sim::Task<StatusOr<uint64_t>> read_tagged(uint64_t offset,
+                                                    uint64_t len) = 0;
+
+  /// Durability barrier: completes when previously acknowledged writes
+  /// are on stable media (device RAM counts — capacitor-backed, §III-D).
+  virtual sim::Task<Status> flush() = 0;
+
+  /// Batched tagged IO: semantically identical to `subcmds` back-to-back
+  /// equal-share commands over [offset, offset+len) issued to the same
+  /// queue, but simulated as one event (per-command costs are still
+  /// charged `subcmds` times by devices that model them). Lets the data
+  /// plane submit hugeblock-granular IO without one simulation event per
+  /// hugeblock. Default forwards to the unbatched op (cost models that
+  /// don't charge per command need nothing more).
+  virtual sim::Task<Status> write_tagged_batch(uint64_t offset, uint64_t len,
+                                               uint64_t seed,
+                                               uint32_t subcmds) {
+    (void)subcmds;
+    co_return co_await write_tagged(offset, len, seed);
+  }
+  virtual sim::Task<StatusOr<uint64_t>> read_tagged_batch(uint64_t offset,
+                                                          uint64_t len,
+                                                          uint32_t subcmds) {
+    (void)subcmds;
+    co_return co_await read_tagged(offset, len);
+  }
+};
+
+/// Bounded window [base, base+length) onto another device. Used to hand
+/// each microfs instance its private partition of a shared SSD
+/// (microfs Principle 2: integrity by partitioning).
+class PartitionView final : public BlockDevice {
+ public:
+  PartitionView(BlockDevice& parent, uint64_t base, uint64_t length)
+      : parent_(parent), base_(base), length_(length) {}
+
+  uint64_t capacity() const override { return length_; }
+  uint32_t hw_block_size() const override { return parent_.hw_block_size(); }
+  uint64_t tag_origin() const override {
+    return parent_.tag_origin() + base_;
+  }
+
+  sim::Task<Status> write(uint64_t offset,
+                          std::span<const std::byte> data) override {
+    if (offset + data.size() > length_) co_return out_of_range(offset);
+    co_return co_await parent_.write(base_ + offset, data);
+  }
+
+  sim::Task<Status> read(uint64_t offset, std::span<std::byte> out) override {
+    if (offset + out.size() > length_) co_return out_of_range(offset);
+    co_return co_await parent_.read(base_ + offset, out);
+  }
+
+  sim::Task<Status> write_tagged(uint64_t offset, uint64_t len,
+                                 uint64_t seed) override {
+    if (offset + len > length_) co_return out_of_range(offset);
+    co_return co_await parent_.write_tagged(base_ + offset, len, seed);
+  }
+
+  sim::Task<StatusOr<uint64_t>> read_tagged(uint64_t offset,
+                                            uint64_t len) override {
+    if (offset + len > length_) co_return StatusOr<uint64_t>(out_of_range(offset));
+    co_return co_await parent_.read_tagged(base_ + offset, len);
+  }
+
+  sim::Task<Status> flush() override { co_return co_await parent_.flush(); }
+
+  sim::Task<Status> write_tagged_batch(uint64_t offset, uint64_t len,
+                                       uint64_t seed,
+                                       uint32_t subcmds) override {
+    if (offset + len > length_) co_return out_of_range(offset);
+    co_return co_await parent_.write_tagged_batch(base_ + offset, len, seed,
+                                                  subcmds);
+  }
+  sim::Task<StatusOr<uint64_t>> read_tagged_batch(uint64_t offset,
+                                                  uint64_t len,
+                                                  uint32_t subcmds) override {
+    if (offset + len > length_) {
+      co_return StatusOr<uint64_t>(out_of_range(offset));
+    }
+    co_return co_await parent_.read_tagged_batch(base_ + offset, len, subcmds);
+  }
+
+  uint64_t base() const { return base_; }
+
+ private:
+  Status out_of_range(uint64_t offset) const {
+    return InvalidArgumentError("partition IO out of range at offset " +
+                                std::to_string(offset));
+  }
+
+  BlockDevice& parent_;
+  uint64_t base_;
+  uint64_t length_;
+};
+
+}  // namespace nvmecr::hw

@@ -1,0 +1,359 @@
+#include "hw/nvme_ssd.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace nvmecr::hw {
+
+namespace {
+// The controller is modeled as a BandwidthResource at 1 byte/ns so that
+// reserve(n) books exactly n nanoseconds of serial controller time.
+constexpr uint64_t kOneBytePerNs = 1000ull * 1000ull * 1000ull;
+}  // namespace
+
+NvmeSsd::NvmeSsd(sim::Engine& engine, SsdSpec spec, std::string name)
+    : engine_(engine),
+      spec_(spec),
+      name_(std::move(name)),
+      controller_(engine, kOneBytePerNs),
+      queues_(spec.max_queues),
+      store_(spec.hw_block_size) {
+  NVMECR_CHECK(spec_.channels > 0);
+  write_channels_.reserve(spec_.channels);
+  read_channels_.reserve(spec_.channels);
+  for (uint32_t c = 0; c < spec_.channels; ++c) {
+    write_channels_.emplace_back(engine, spec_.channel_write_bw());
+    read_channels_.emplace_back(engine, spec_.channel_read_bw());
+  }
+}
+
+StatusOr<uint32_t> NvmeSsd::create_namespace(uint64_t bytes) {
+  const uint64_t size = round_up(bytes, spec_.hw_block_size);
+  if (namespaces_.size() >= spec_.max_namespaces) {
+    return UnavailableError("namespace budget exhausted on " + name_);
+  }
+  if (size > free_capacity()) {
+    return NoSpaceError("not enough free capacity on " + name_);
+  }
+  Namespace ns;
+  ns.base = allocated_;  // simple bump allocation; deletes leave holes
+  ns.size = size;
+  allocated_ += size;
+  const uint32_t nsid = next_nsid_++;
+  namespaces_.emplace(nsid, ns);
+  return nsid;
+}
+
+Status NvmeSsd::delete_namespace(uint32_t nsid) {
+  auto it = namespaces_.find(nsid);
+  if (it == namespaces_.end()) return NotFoundError("no namespace");
+  // Capacity from deleted namespaces is only reclaimed when it is the
+  // most recently allocated region (bump allocator); real controllers
+  // have the same external behavior via granular reclamation.
+  if (it->second.base + it->second.size == allocated_) {
+    allocated_ -= it->second.size;
+  }
+  namespaces_.erase(it);
+  return OkStatus();
+}
+
+StatusOr<uint64_t> NvmeSsd::namespace_size(uint32_t nsid) const {
+  auto it = namespaces_.find(nsid);
+  if (it == namespaces_.end()) return NotFoundError("no namespace");
+  return it->second.size;
+}
+
+StatusOr<uint64_t> NvmeSsd::namespace_base(uint32_t nsid) const {
+  auto it = namespaces_.find(nsid);
+  if (it == namespaces_.end()) return NotFoundError("no namespace");
+  return it->second.base;
+}
+
+StatusOr<uint32_t> NvmeSsd::alloc_queue() {
+  for (uint32_t q = 0; q < queues_.size(); ++q) {
+    if (!queues_[q].in_use) {
+      queues_[q].in_use = true;
+      queues_[q].last_completion = 0;
+      ++queues_in_use_;
+      return q;
+    }
+  }
+  return UnavailableError("all hardware queues in use on " + name_);
+}
+
+void NvmeSsd::free_queue(uint32_t queue_id) {
+  NVMECR_CHECK(queue_id < queues_.size() && queues_[queue_id].in_use);
+  queues_[queue_id].in_use = false;
+  --queues_in_use_;
+}
+
+SimTime NvmeSsd::reserve_channels(
+    std::vector<sim::BandwidthResource>& channels, uint64_t abs_offset,
+    uint64_t len, SimTime earliest) {
+  if (len == 0) return earliest;
+  const uint32_t bs = spec_.hw_block_size;
+  const uint32_t nch = spec_.channels;
+  // Distribute hw blocks round-robin starting at the LBA-implied channel.
+  const uint64_t nblocks = ceil_div(len, bs);
+  const uint32_t start_ch = static_cast<uint32_t>((abs_offset / bs) % nch);
+  std::vector<uint64_t> per_channel(nch, 0);
+  if (nblocks >= nch) {
+    const uint64_t whole_rounds = nblocks / nch;
+    for (uint32_t c = 0; c < nch; ++c) per_channel[c] = whole_rounds * bs;
+    for (uint64_t r = 0; r < nblocks % nch; ++r) {
+      per_channel[(start_ch + r) % nch] += bs;
+    }
+  } else {
+    for (uint64_t b = 0; b < nblocks; ++b) {
+      per_channel[(start_ch + b) % nch] += bs;
+    }
+  }
+  // The final partial block transfers only its real bytes.
+  const uint64_t slack = nblocks * bs - len;
+  per_channel[(start_ch + nblocks - 1) % nch] -= slack;
+
+  SimTime finish = earliest;
+  for (uint32_t c = 0; c < nch; ++c) {
+    if (per_channel[c] == 0) continue;
+    finish = std::max(finish, channels[c].reserve_after(earliest, per_channel[c]));
+  }
+  return finish;
+}
+
+Status NvmeSsd::corrupt_media(uint32_t nsid, uint64_t offset, uint64_t len) {
+  auto it = namespaces_.find(nsid);
+  if (it == namespaces_.end()) return NotFoundError("no namespace");
+  if (offset + len > it->second.size) {
+    return InvalidArgumentError("corruption beyond namespace");
+  }
+  // Overwrite with a junk pattern; byte readers see garbage, tagged
+  // readers see a mismatching tag.
+  std::vector<std::byte> junk(len, std::byte{0xde});
+  store_.write_bytes(it->second.base + offset, junk);
+  return OkStatus();
+}
+
+sim::Task<Status> NvmeSsd::submit(Command cmd, uint64_t* tag_out) {
+  if (device_failed_) {
+    co_return IoError("device " + name_ + " failed");
+  }
+  // Validate addressing.
+  auto ns_it = namespaces_.find(cmd.nsid);
+  if (ns_it == namespaces_.end()) co_return NotFoundError("bad nsid");
+  Namespace& ns = ns_it->second;
+  if (cmd.op != Op::kFlush && cmd.offset + cmd.len > ns.size) {
+    co_return InvalidArgumentError("IO beyond namespace end");
+  }
+  if (cmd.queue_id >= queues_.size() || !queues_[cmd.queue_id].in_use) {
+    co_return BadFdError("invalid hardware queue");
+  }
+  Queue& queue = queues_[cmd.queue_id];
+  const uint64_t abs_offset = ns.base + cmd.offset;
+
+  // Controller processing (serial across all queues), once per host
+  // command represented by this submission.
+  const uint32_t ncmds = cmd.subcommands > 0 ? cmd.subcommands : 1;
+  const SimTime ctrl_done = controller_.reserve(
+      static_cast<uint64_t>(spec_.controller_per_cmd) * ncmds);
+
+  SimTime completion = ctrl_done;
+  switch (cmd.op) {
+    case Op::kWrite: {
+      const SimTime flash_finish =
+          reserve_channels(write_channels_, abs_offset, cmd.len, ctrl_done);
+      if (spec_.device_ram > 0) {
+        // Complete when the data is in capacitor-backed RAM: either the
+        // RAM-speed path, or — once the flash backlog exceeds one RAM's
+        // worth — the flash drain time minus that headroom.
+        const SimTime ram_path =
+            ctrl_done + spec_.command_latency +
+            transfer_time(cmd.len, spec_.device_ram_bw);
+        const SimDuration headroom =
+            transfer_time(spec_.device_ram, spec_.write_bw);
+        completion = std::max(
+            ram_path, flash_finish + spec_.command_latency - headroom);
+      } else {
+        completion = flash_finish + spec_.command_latency;
+      }
+      // Content + accounting take effect with the acknowledgement.
+      if (cmd.tagged) {
+        Status s = store_.write_pattern(abs_offset, cmd.len, cmd.seed);
+        if (!s.ok()) co_return s;
+      } else if (!cmd.write_data.empty()) {
+        store_.write_bytes(abs_offset, cmd.write_data);
+      }
+      counters_.write_commands += ncmds;
+      counters_.bytes_written += cmd.len;
+      ns.bytes_written += cmd.len;
+      break;
+    }
+    case Op::kRead: {
+      const SimTime read_finish =
+          reserve_channels(read_channels_, abs_offset, cmd.len, ctrl_done);
+      completion = read_finish + spec_.command_latency;
+      if (cmd.tagged) {
+        auto tag = store_.read_combined_tag(abs_offset, cmd.len);
+        if (!tag.ok()) co_return tag.status();
+        if (tag_out != nullptr) *tag_out = *tag;
+      } else if (!cmd.read_out.empty()) {
+        Status s = store_.read_bytes(abs_offset, cmd.read_out);
+        if (!s.ok()) co_return s;
+      }
+      counters_.read_commands += ncmds;
+      counters_.bytes_read += cmd.len;
+      break;
+    }
+    case Op::kFlush: {
+      // Durable once every booked flash write has drained.
+      SimTime drain = ctrl_done;
+      for (auto& ch : write_channels_) {
+        drain = std::max(drain, ch.busy_until());
+      }
+      completion = drain + spec_.command_latency;
+      ++counters_.flush_commands;
+      break;
+    }
+  }
+
+  // In-order completion within a hardware queue.
+  completion = std::max(completion, queue.last_completion);
+  queue.last_completion = completion;
+
+  co_await engine_.sleep_until(completion);
+  if (inject_errors_ > 0) {
+    --inject_errors_;
+    co_return IoError("injected media error on " + name_);
+  }
+  co_return OkStatus();
+}
+
+uint64_t NvmeSsd::namespace_bytes_written(uint32_t nsid) const {
+  auto it = namespaces_.find(nsid);
+  return it == namespaces_.end() ? 0 : it->second.bytes_written;
+}
+
+namespace {
+
+/// BlockDevice view of one namespace through one hardware queue.
+class SsdQueueDevice final : public BlockDevice {
+ public:
+  SsdQueueDevice(NvmeSsd& ssd, uint32_t nsid, uint32_t queue_id)
+      : ssd_(ssd), nsid_(nsid), queue_id_(queue_id) {
+    auto size = ssd.namespace_size(nsid);
+    capacity_ = size.ok() ? *size : 0;
+    auto base = ssd.namespace_base(nsid);
+    origin_ = base.ok() ? *base : 0;
+  }
+
+  uint64_t capacity() const override { return capacity_; }
+  uint32_t hw_block_size() const override { return ssd_.spec().hw_block_size; }
+  uint64_t tag_origin() const override { return origin_; }
+
+  sim::Task<Status> write(uint64_t offset,
+                          std::span<const std::byte> data) override {
+    NvmeSsd::Command cmd;
+    cmd.op = NvmeSsd::Op::kWrite;
+    cmd.nsid = nsid_;
+    cmd.queue_id = queue_id_;
+    cmd.offset = offset;
+    cmd.len = data.size();
+    cmd.write_data = data;
+    co_return co_await ssd_.submit(cmd);
+  }
+
+  sim::Task<Status> read(uint64_t offset, std::span<std::byte> out) override {
+    NvmeSsd::Command cmd;
+    cmd.op = NvmeSsd::Op::kRead;
+    cmd.nsid = nsid_;
+    cmd.queue_id = queue_id_;
+    cmd.offset = offset;
+    cmd.len = out.size();
+    cmd.read_out = out;
+    co_return co_await ssd_.submit(cmd);
+  }
+
+  sim::Task<Status> write_tagged(uint64_t offset, uint64_t len,
+                                 uint64_t seed) override {
+    NvmeSsd::Command cmd;
+    cmd.op = NvmeSsd::Op::kWrite;
+    cmd.nsid = nsid_;
+    cmd.queue_id = queue_id_;
+    cmd.offset = offset;
+    cmd.len = len;
+    cmd.tagged = true;
+    cmd.seed = seed;
+    co_return co_await ssd_.submit(cmd);
+  }
+
+  sim::Task<StatusOr<uint64_t>> read_tagged(uint64_t offset,
+                                            uint64_t len) override {
+    NvmeSsd::Command cmd;
+    cmd.op = NvmeSsd::Op::kRead;
+    cmd.nsid = nsid_;
+    cmd.queue_id = queue_id_;
+    cmd.offset = offset;
+    cmd.len = len;
+    cmd.tagged = true;
+    uint64_t tag = 0;
+    Status s = co_await ssd_.submit(cmd, &tag);
+    if (!s.ok()) co_return StatusOr<uint64_t>(s);
+    co_return tag;
+  }
+
+  sim::Task<Status> flush() override {
+    NvmeSsd::Command cmd;
+    cmd.op = NvmeSsd::Op::kFlush;
+    cmd.nsid = nsid_;
+    cmd.queue_id = queue_id_;
+    co_return co_await ssd_.submit(cmd);
+  }
+
+  sim::Task<Status> write_tagged_batch(uint64_t offset, uint64_t len,
+                                       uint64_t seed,
+                                       uint32_t subcmds) override {
+    NvmeSsd::Command cmd;
+    cmd.op = NvmeSsd::Op::kWrite;
+    cmd.nsid = nsid_;
+    cmd.queue_id = queue_id_;
+    cmd.offset = offset;
+    cmd.len = len;
+    cmd.tagged = true;
+    cmd.seed = seed;
+    cmd.subcommands = subcmds;
+    co_return co_await ssd_.submit(cmd);
+  }
+
+  sim::Task<StatusOr<uint64_t>> read_tagged_batch(uint64_t offset,
+                                                  uint64_t len,
+                                                  uint32_t subcmds) override {
+    NvmeSsd::Command cmd;
+    cmd.op = NvmeSsd::Op::kRead;
+    cmd.nsid = nsid_;
+    cmd.queue_id = queue_id_;
+    cmd.offset = offset;
+    cmd.len = len;
+    cmd.tagged = true;
+    cmd.subcommands = subcmds;
+    uint64_t tag = 0;
+    Status s = co_await ssd_.submit(cmd, &tag);
+    if (!s.ok()) co_return StatusOr<uint64_t>(s);
+    co_return tag;
+  }
+
+ private:
+  NvmeSsd& ssd_;
+  uint32_t nsid_;
+  uint32_t queue_id_;
+  uint64_t capacity_;
+  uint64_t origin_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<BlockDevice> NvmeSsd::open_queue(uint32_t nsid,
+                                                 uint32_t queue_id) {
+  return std::make_unique<SsdQueueDevice>(*this, nsid, queue_id);
+}
+
+}  // namespace nvmecr::hw

@@ -1,0 +1,146 @@
+// Simulated NVMe SSD.
+//
+// Geometry/timing model:
+//  * A serial controller charges `controller_per_cmd` per command
+//    (bounds IOPS; the small-block regime of Figure 7(a)).
+//  * Commands split into hw_block-sized pieces striped over `channels`
+//    starting at the channel implied by the LBA; each channel is a FIFO
+//    BandwidthResource at write_bw/channels. A command ≥ channels ×
+//    hw_block uses the full device bandwidth — the hugeblock effect the
+//    paper exploits (§III-E).
+//  * Writes complete to the host when absorbed by the capacitor-backed
+//    device RAM: completion = max(RAM-speed path, flash drain minus the
+//    RAM's worth of headroom). Flush waits for full drain.
+//  * Each hardware queue completes commands in submission order
+//    (Principle 3: per-instance queues make ordering free).
+//
+// Namespaces carve the LBA space; the job scheduler hands them to jobs
+// (§III-F "Security Model"). open_queue() returns a BlockDevice view of
+// one namespace through one queue, which is what a microfs instance (or
+// the NVMf target on behalf of a remote initiator) holds.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/block_device.h"
+#include "hw/payload_store.h"
+#include "hw/ssd_spec.h"
+#include "simcore/engine.h"
+#include "simcore/resource.h"
+
+namespace nvmecr::hw {
+
+class NvmeSsd {
+ public:
+  NvmeSsd(sim::Engine& engine, SsdSpec spec, std::string name = "nvme0");
+
+  const SsdSpec& spec() const { return spec_; }
+  const std::string& name() const { return name_; }
+  sim::Engine& engine() { return engine_; }
+
+  // --- Namespace management -------------------------------------------
+  /// Creates a namespace of `bytes` (rounded up to hw blocks). Returns
+  /// its id (>= 1, NVMe convention).
+  StatusOr<uint32_t> create_namespace(uint64_t bytes);
+  Status delete_namespace(uint32_t nsid);
+  StatusOr<uint64_t> namespace_size(uint32_t nsid) const;
+  StatusOr<uint64_t> namespace_base(uint32_t nsid) const;
+  uint32_t namespace_count() const { return static_cast<uint32_t>(namespaces_.size()); }
+  /// Unallocated capacity (new namespaces are carved from it).
+  uint64_t free_capacity() const { return spec_.capacity - allocated_; }
+
+  // --- Queue management -----------------------------------------------
+  /// Allocates a dedicated hardware queue; kUnavailable when the
+  /// controller's queue budget (spec.max_queues) is exhausted.
+  StatusOr<uint32_t> alloc_queue();
+  void free_queue(uint32_t queue_id);
+  uint32_t queues_in_use() const { return queues_in_use_; }
+
+  /// Opens a BlockDevice view of namespace `nsid` through `queue_id`.
+  /// The view's offset 0 is the namespace start.
+  std::unique_ptr<BlockDevice> open_queue(uint32_t nsid, uint32_t queue_id);
+
+  // --- Raw command path (used by queue views and the kernel driver) ----
+  enum class Op { kWrite, kRead, kFlush };
+
+  struct Command {
+    Op op = Op::kWrite;
+    uint32_t nsid = 0;
+    uint32_t queue_id = 0;
+    uint64_t offset = 0;  // namespace-relative
+    uint64_t len = 0;
+    // Payload: exactly one is used for writes; reads fill read_out or
+    // return a tag.
+    std::span<const std::byte> write_data;
+    std::span<std::byte> read_out;
+    bool tagged = false;
+    uint64_t seed = 0;
+    /// Number of host commands this submission stands for (batched
+    /// tagged IO); per-command controller cost and command counters are
+    /// charged this many times.
+    uint32_t subcommands = 1;
+  };
+
+  /// Submits one command and completes when the device acknowledges it.
+  /// Tagged reads return the combined tag through `tag_out`.
+  sim::Task<Status> submit(Command cmd, uint64_t* tag_out = nullptr);
+
+  // --- fault injection (tests + failure-handling benches) -------------
+  /// Fails the next `count` submitted commands with kIoError (after
+  /// charging their normal latency — a realistic media error).
+  void inject_io_errors(uint32_t count) { inject_errors_ = count; }
+  /// Marks the whole device failed: every subsequent command errors
+  /// immediately (models an SSD/node loss for fault-tolerance tests).
+  void fail_device() { device_failed_ = true; }
+  bool device_failed() const { return device_failed_; }
+  /// Corrupts `len` stored bytes at `nsid`-relative `offset` (silent
+  /// media corruption; CRC-guarded structures must detect it on read).
+  Status corrupt_media(uint32_t nsid, uint64_t offset, uint64_t len);
+
+  const SsdCounters& counters() const { return counters_; }
+  /// Bytes ever written into a namespace (load accounting, Fig. 7(b)).
+  uint64_t namespace_bytes_written(uint32_t nsid) const;
+  const PayloadStore& payload() const { return store_; }
+
+ private:
+  struct Namespace {
+    uint64_t base = 0;
+    uint64_t size = 0;
+    uint64_t bytes_written = 0;
+  };
+
+  struct Queue {
+    bool in_use = false;
+    SimTime last_completion = 0;  // in-order completion chaining
+  };
+
+  /// Books the striped transfer on the channel FIFOs; returns the finish
+  /// time of the slowest involved channel.
+  SimTime reserve_channels(std::vector<sim::BandwidthResource>& channels,
+                           uint64_t abs_offset, uint64_t len,
+                           SimTime earliest);
+
+  sim::Engine& engine_;
+  SsdSpec spec_;
+  std::string name_;
+
+  sim::BandwidthResource controller_;
+  std::vector<sim::BandwidthResource> write_channels_;
+  std::vector<sim::BandwidthResource> read_channels_;
+  std::vector<Queue> queues_;
+  uint32_t queues_in_use_ = 0;
+
+  std::map<uint32_t, Namespace> namespaces_;
+  uint32_t next_nsid_ = 1;
+  uint64_t allocated_ = 0;
+
+  PayloadStore store_;
+  SsdCounters counters_;
+  uint32_t inject_errors_ = 0;
+  bool device_failed_ = false;
+};
+
+}  // namespace nvmecr::hw

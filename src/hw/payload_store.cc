@@ -1,0 +1,213 @@
+#include "hw/payload_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace nvmecr::hw {
+
+namespace {
+
+/// Slice [from, from+n) out of an extent's byte payload.
+std::vector<std::byte> slice(const std::vector<std::byte>& v, uint64_t from,
+                             uint64_t n) {
+  return std::vector<std::byte>(v.begin() + static_cast<ptrdiff_t>(from),
+                                v.begin() + static_cast<ptrdiff_t>(from + n));
+}
+
+}  // namespace
+
+uint64_t PayloadStore::block_tag(uint64_t seed, uint64_t block_index) {
+  return mix64(seed ^ (block_index * 0x9e3779b97f4a7c15ull));
+}
+
+uint64_t PayloadStore::expected_tag(uint64_t seed, uint64_t offset,
+                                    uint64_t len, uint32_t block_size) {
+  uint64_t tag = 0;
+  const uint64_t first = offset / block_size;
+  const uint64_t count = len / block_size;
+  for (uint64_t i = 0; i < count; ++i) tag += block_tag(seed, first + i);
+  return tag;
+}
+
+void PayloadStore::carve(uint64_t start, uint64_t len) {
+  if (len == 0) return;
+  const uint64_t end = start + len;
+
+  // Split a predecessor that overlaps the carve region.
+  auto it = extents_.lower_bound(start);
+  if (it != extents_.begin()) {
+    auto prev = std::prev(it);
+    const uint64_t prev_end = prev->first + prev->second.len;
+    if (prev_end > start) {
+      Extent& pe = prev->second;
+      // Tail beyond the carve region survives as a new extent.
+      if (prev_end > end) {
+        Extent tail;
+        tail.len = prev_end - end;
+        tail.is_pattern = pe.is_pattern;
+        tail.seed = pe.seed;
+        if (!pe.is_pattern) tail.bytes = slice(pe.bytes, end - prev->first, tail.len);
+        extents_.emplace(end, std::move(tail));
+      }
+      // Head before the carve region survives, trimmed.
+      pe.len = start - prev->first;
+      if (!pe.is_pattern) pe.bytes.resize(pe.len);
+    }
+  }
+
+  // Remove/trim extents starting inside the carve region.
+  it = extents_.lower_bound(start);
+  while (it != extents_.end() && it->first < end) {
+    const uint64_t e_end = it->first + it->second.len;
+    if (e_end <= end) {
+      it = extents_.erase(it);
+    } else {
+      // Keep the tail that sticks out.
+      Extent tail;
+      tail.len = e_end - end;
+      tail.is_pattern = it->second.is_pattern;
+      tail.seed = it->second.seed;
+      if (!tail.is_pattern) {
+        tail.bytes = slice(it->second.bytes, end - it->first, tail.len);
+      }
+      extents_.erase(it);
+      extents_.emplace(end, std::move(tail));
+      break;
+    }
+  }
+}
+
+bool PayloadStore::mergeable(uint64_t a_start, const Extent& a,
+                             uint64_t b_start, const Extent& b) {
+  // Only pattern extents merge (byte extents would need a copy; metadata
+  // writes are small and non-adjacent in practice).
+  return a.is_pattern && b.is_pattern && a.seed == b.seed &&
+         a_start + a.len == b_start;
+}
+
+void PayloadStore::insert_extent(uint64_t start, Extent e) {
+  auto [it, inserted] = extents_.emplace(start, std::move(e));
+  NVMECR_CHECK(inserted);
+  // Merge with successor.
+  auto next = std::next(it);
+  if (next != extents_.end() &&
+      mergeable(it->first, it->second, next->first, next->second)) {
+    it->second.len += next->second.len;
+    extents_.erase(next);
+  }
+  // Merge with predecessor.
+  if (it != extents_.begin()) {
+    auto prev = std::prev(it);
+    if (mergeable(prev->first, prev->second, it->first, it->second)) {
+      prev->second.len += it->second.len;
+      extents_.erase(it);
+    }
+  }
+}
+
+void PayloadStore::write_bytes(uint64_t offset,
+                               std::span<const std::byte> data) {
+  if (data.empty()) return;
+  carve(offset, data.size());
+  Extent e;
+  e.len = data.size();
+  e.is_pattern = false;
+  e.bytes.assign(data.begin(), data.end());
+  insert_extent(offset, std::move(e));
+}
+
+Status PayloadStore::read_bytes(uint64_t offset,
+                                std::span<std::byte> out) const {
+  if (out.empty()) return OkStatus();
+  const uint64_t end = offset + out.size();
+  std::memset(out.data(), 0, out.size());
+
+  auto it = extents_.lower_bound(offset);
+  if (it != extents_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.len > offset) it = prev;
+  }
+  for (; it != extents_.end() && it->first < end; ++it) {
+    const uint64_t e_start = it->first;
+    const uint64_t e_end = e_start + it->second.len;
+    const uint64_t copy_start = std::max(e_start, offset);
+    const uint64_t copy_end = std::min(e_end, end);
+    if (copy_start >= copy_end) continue;
+    if (it->second.is_pattern) {
+      return CorruptionError(
+          "read_bytes over pattern extent (tagged payload read as bytes)");
+    }
+    std::memcpy(out.data() + (copy_start - offset),
+                it->second.bytes.data() + (copy_start - e_start),
+                copy_end - copy_start);
+  }
+  return OkStatus();
+}
+
+Status PayloadStore::write_pattern(uint64_t offset, uint64_t len,
+                                   uint64_t seed) {
+  if (len == 0) return OkStatus();
+  if (offset % block_size_ != 0 || len % block_size_ != 0) {
+    return InvalidArgumentError("pattern IO must be block-aligned");
+  }
+  carve(offset, len);
+  Extent e;
+  e.len = len;
+  e.is_pattern = true;
+  e.seed = seed;
+  insert_extent(offset, std::move(e));
+  return OkStatus();
+}
+
+StatusOr<uint64_t> PayloadStore::read_combined_tag(uint64_t offset,
+                                                   uint64_t len) const {
+  if (offset % block_size_ != 0 || len % block_size_ != 0) {
+    return InvalidArgumentError("tagged read must be block-aligned");
+  }
+  uint64_t tag = 0;
+  const uint64_t end = offset + len;
+
+  auto it = extents_.lower_bound(offset);
+  if (it != extents_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.len > offset) it = prev;
+  }
+  for (; it != extents_.end() && it->first < end; ++it) {
+    const uint64_t e_start = it->first;
+    const uint64_t e_end = e_start + it->second.len;
+    const uint64_t ov_start = std::max(e_start, offset);
+    const uint64_t ov_end = std::min(e_end, end);
+    if (ov_start >= ov_end) continue;
+    if (it->second.is_pattern) {
+      // Pattern blocks fully covered by the overlap contribute their tag.
+      const uint64_t first_block = ceil_div(ov_start, block_size_);
+      const uint64_t last_block = ov_end / block_size_;  // exclusive
+      for (uint64_t b = first_block; b < last_block; ++b) {
+        tag += block_tag(it->second.seed, b);
+      }
+    } else {
+      // Real-byte blocks contribute a content hash per fully covered
+      // block (partial blocks hash the covered slice).
+      uint64_t pos = ov_start;
+      while (pos < ov_end) {
+        const uint64_t block_end =
+            std::min<uint64_t>((pos / block_size_ + 1) * block_size_, ov_end);
+        tag += fnv1a(it->second.bytes.data() + (pos - e_start),
+                     block_end - pos);
+        pos = block_end;
+      }
+    }
+  }
+  return tag;
+}
+
+uint64_t PayloadStore::bytes_stored() const {
+  uint64_t total = 0;
+  for (const auto& [start, e] : extents_) total += e.len;
+  return total;
+}
+
+}  // namespace nvmecr::hw

@@ -1,0 +1,84 @@
+// Sparse content store backing simulated devices.
+//
+// Stores an ordered interval map of extents. An extent is either real
+// bytes (metadata, small test data) or a pattern seed (bulk checkpoint
+// payload). Overlapping writes split/trim older extents exactly like a
+// physical medium would overwrite sectors; adjacent same-seed extents
+// merge so a sequentially written checkpoint file costs one map entry.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nvmecr::hw {
+
+class PayloadStore {
+ public:
+  explicit PayloadStore(uint32_t block_size) : block_size_(block_size) {}
+
+  /// Stores real bytes at [offset, offset+data.size()).
+  void write_bytes(uint64_t offset, std::span<const std::byte> data);
+
+  /// Reads real bytes. Unwritten gaps read as zero. Reading a region held
+  /// by a pattern extent is a usage error and returns kCorruption.
+  Status read_bytes(uint64_t offset, std::span<std::byte> out) const;
+
+  /// Stores a pattern extent: conceptual content of each covered hardware
+  /// block i is pattern(seed, i). Offset and len must be block-aligned.
+  Status write_pattern(uint64_t offset, uint64_t len, uint64_t seed);
+
+  /// Combined tag over [offset, offset+len): the wrapping sum of each
+  /// covered block's tag. Pattern blocks contribute block_tag(seed, idx);
+  /// real-byte blocks contribute the FNV-1a of their contents; unwritten
+  /// blocks contribute 0. Offset/len must be block-aligned.
+  StatusOr<uint64_t> read_combined_tag(uint64_t offset, uint64_t len) const;
+
+  /// The per-block tag a pattern write produces; exposed so workloads can
+  /// precompute the tag they expect to read back.
+  static uint64_t block_tag(uint64_t seed, uint64_t block_index);
+
+  /// Expected combined tag for a pattern extent (what read_combined_tag
+  /// returns if [offset, offset+len) is covered by `seed` pattern data).
+  static uint64_t expected_tag(uint64_t seed, uint64_t offset, uint64_t len,
+                               uint32_t block_size);
+
+  /// Total bytes currently represented (real + pattern).
+  uint64_t bytes_stored() const;
+
+  /// Number of extents (memory-footprint observability; merging keeps
+  /// this small for sequential workloads).
+  size_t extent_count() const { return extents_.size(); }
+
+  /// Drops all content (device reformat).
+  void clear() { extents_.clear(); }
+
+  uint32_t block_size() const { return block_size_; }
+
+ private:
+  struct Extent {
+    uint64_t len = 0;
+    // Exactly one of: pattern extent (is_pattern) with `seed`, or real
+    // bytes in `bytes` (bytes.size() == len).
+    bool is_pattern = false;
+    uint64_t seed = 0;
+    std::vector<std::byte> bytes;
+  };
+
+  /// Removes/overwrite-trims everything intersecting [start, start+len).
+  void carve(uint64_t start, uint64_t len);
+
+  /// Inserts and merges with neighbors when possible.
+  void insert_extent(uint64_t start, Extent e);
+
+  static bool mergeable(uint64_t a_start, const Extent& a, uint64_t b_start,
+                        const Extent& b);
+
+  uint32_t block_size_;
+  std::map<uint64_t, Extent> extents_;  // key: start offset
+};
+
+}  // namespace nvmecr::hw

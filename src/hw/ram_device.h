@@ -1,0 +1,69 @@
+// Instant (zero simulated latency) block device backed by a PayloadStore.
+//
+// Used by microfs unit tests, the quickstart example, and anywhere real
+// byte-exact storage without a timing model is wanted. All awaitables
+// complete without suspending, so a coroutine chain over a RamDevice runs
+// to completion the moment it is resumed.
+#pragma once
+
+#include "hw/block_device.h"
+#include "hw/payload_store.h"
+
+namespace nvmecr::hw {
+
+class RamDevice final : public BlockDevice {
+ public:
+  explicit RamDevice(uint64_t capacity, uint32_t block_size = 4096)
+      : capacity_(capacity), store_(block_size) {}
+
+  uint64_t capacity() const override { return capacity_; }
+  uint32_t hw_block_size() const override { return store_.block_size(); }
+
+  sim::Task<Status> write(uint64_t offset,
+                          std::span<const std::byte> data) override {
+    if (offset + data.size() > capacity_) {
+      co_return InvalidArgumentError("write beyond device end");
+    }
+    store_.write_bytes(offset, data);
+    bytes_written_ += data.size();
+    co_return OkStatus();
+  }
+
+  sim::Task<Status> read(uint64_t offset, std::span<std::byte> out) override {
+    if (offset + out.size() > capacity_) {
+      co_return InvalidArgumentError("read beyond device end");
+    }
+    co_return store_.read_bytes(offset, out);
+  }
+
+  sim::Task<Status> write_tagged(uint64_t offset, uint64_t len,
+                                 uint64_t seed) override {
+    if (offset + len > capacity_) {
+      co_return InvalidArgumentError("write beyond device end");
+    }
+    Status s = store_.write_pattern(offset, len, seed);
+    if (s.ok()) bytes_written_ += len;
+    co_return s;
+  }
+
+  sim::Task<StatusOr<uint64_t>> read_tagged(uint64_t offset,
+                                            uint64_t len) override {
+    if (offset + len > capacity_) {
+      co_return StatusOr<uint64_t>(
+          InvalidArgumentError("read beyond device end"));
+    }
+    co_return store_.read_combined_tag(offset, len);
+  }
+
+  sim::Task<Status> flush() override { co_return OkStatus(); }
+
+  uint64_t bytes_written() const { return bytes_written_; }
+  const PayloadStore& payload() const { return store_; }
+
+ private:
+  uint64_t capacity_;
+  PayloadStore store_;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace nvmecr::hw

@@ -1,0 +1,67 @@
+// SSD performance/geometry specification.
+//
+// Defaults are calibrated to the Intel Optane P4800X used in the paper's
+// testbed (§IV-A): ~2.2 GB/s sustained write, ~2.5 GB/s read, very low
+// latency, 32 hardware queues. The channel count and controller command
+// rate shape the small-IO regime (Figure 7(a)'s left side); the device
+// RAM models the capacitor-backed write buffer (§III-D "Data
+// Durability").
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace nvmecr::hw {
+
+using namespace nvmecr::literals;
+
+struct SsdSpec {
+  /// Usable capacity. P4800X ships 375 GB; tests shrink this.
+  uint64_t capacity = 375_GiB;
+
+  /// Hardware block (sector) size; IO is internally split into these and
+  /// spread across channels (§III-E "Hugeblocks").
+  uint32_t hw_block_size = 4096;
+
+  /// Independent internal channels/dies the controller stripes over.
+  uint32_t channels = 7;
+
+  /// Aggregate sustained bandwidths across all channels.
+  uint64_t write_bw = 2200_MBps;
+  uint64_t read_bw = 2500_MBps;
+
+  /// Fixed per-command device latency (submission doorbell to first data
+  /// movement) — dominates 4 KiB IO.
+  SimDuration command_latency = 10_us;
+
+  /// Controller command-processing cost; bounds IOPS at ~1/ctrl_per_cmd.
+  SimDuration controller_per_cmd = 2_us;
+
+  /// Capacitor-backed device RAM absorbing write bursts (0 = none).
+  uint64_t device_ram = 256_MiB;
+  uint64_t device_ram_bw = 8_GBps;
+
+  /// Hardware submission queues (Optane P4800X: 32). One per microfs
+  /// instance (Principle 3).
+  uint32_t max_queues = 32;
+
+  /// Max NVMe namespaces the controller manages (security model, §III-F).
+  uint32_t max_namespaces = 128;
+
+  /// Per-channel rates derived from the aggregates.
+  uint64_t channel_write_bw() const { return write_bw / channels; }
+  uint64_t channel_read_bw() const { return read_bw / channels; }
+};
+
+/// Cumulative device counters (observability + Table I / Figure 7(b)
+/// accounting).
+struct SsdCounters {
+  uint64_t write_commands = 0;
+  uint64_t read_commands = 0;
+  uint64_t flush_commands = 0;
+  uint64_t bytes_written = 0;
+  uint64_t bytes_read = 0;
+};
+
+}  // namespace nvmecr::hw

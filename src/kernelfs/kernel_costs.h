@@ -1,0 +1,32 @@
+// Cost constants for the kernel IO path (Figure 2's stack).
+//
+// Calibration sources: syscall entry/exit on Skylake-era CPUs is ~1.3 us
+// with mitigations; copy_{from,to}_user runs near memcpy speed; the block
+// layer + interrupt completion path costs a few microseconds per request
+// and splits IO at the device's max transfer size. The *filesystem*
+// writeback pipeline (journaling, allocation serialization) is what
+// separates ext4 from XFS — see LocalFsParams.
+#pragma once
+
+#include "common/units.h"
+
+namespace nvmecr::kernelfs {
+
+using namespace nvmecr::literals;
+
+struct KernelCosts {
+  /// User->kernel->user transition per syscall.
+  SimDuration syscall_trap = 1300;  // ns
+  /// VFS work per operation: fd lookup, dentry walk, permission checks.
+  SimDuration vfs_per_op = 700;  // ns
+  /// copy_from_user / copy_to_user bandwidth through the page cache.
+  uint64_t page_cache_bw = 5_GBps;
+  /// Block-layer request setup (bio alloc, tagging, doorbell).
+  SimDuration block_layer_per_req = 3_us;
+  /// Interrupt + softirq completion handling per request.
+  SimDuration interrupt_per_req = 3_us;
+  /// Kernel splits large IO into requests of at most this size.
+  uint64_t max_request_bytes = 512_KiB;
+};
+
+}  // namespace nvmecr::kernelfs

@@ -1,0 +1,46 @@
+// Reporting helpers: uniform rendering of job metrics as tables and
+// machine-readable CSV, used by the examples and available to the bench
+// binaries (which print the paper-style rows directly).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workloads/comd.h"
+
+namespace nvmecr::metrics {
+
+/// One measured configuration: a label plus its job metrics.
+struct Row {
+  std::string label;
+  workloads::JobMetrics metrics;
+};
+
+/// Collects rows across a sweep and renders them once.
+class ScalingReport {
+ public:
+  explicit ScalingReport(std::string title) : title_(std::move(title)) {}
+
+  void add(std::string label, workloads::JobMetrics metrics) {
+    rows_.push_back(Row{std::move(label), std::move(metrics)});
+  }
+
+  /// Paper-style aligned table on stdout.
+  void print_table(FILE* out = stdout) const;
+
+  /// CSV (header + one line per row) for plotting; returns the text.
+  std::string to_csv() const;
+
+  /// Writes the CSV next to the binary (best effort; returns false on
+  /// IO failure — benches treat the CSV as optional).
+  bool write_csv(const std::string& path) const;
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::string title_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace nvmecr::metrics

@@ -1,0 +1,56 @@
+#include "microfs/block_pool.h"
+
+#include "microfs/codec.h"
+
+namespace nvmecr::microfs {
+
+void BlockPool::serialize(std::vector<std::byte>& out) const {
+  Encoder enc(out);
+  enc.u64(total_);
+  enc.u64(head_);
+  enc.u64(live_);
+  for (uint64_t v : ring_) enc.u64(v);
+  // `allocated_` is implied by the ring's free window but serialized for
+  // cheap validation on restore.
+  for (uint64_t i = 0; i < total_; i += 64) {
+    uint64_t word = 0;
+    for (uint64_t b = 0; b < 64 && i + b < total_; ++b) {
+      if (allocated_[i + b]) word |= (1ull << b);
+    }
+    enc.u64(word);
+  }
+}
+
+StatusOr<size_t> BlockPool::deserialize(std::span<const std::byte> in) {
+  Decoder dec(in);
+  uint64_t total = 0, head = 0, live = 0;
+  NVMECR_RETURN_IF_ERROR(dec.u64(total));
+  NVMECR_RETURN_IF_ERROR(dec.u64(head));
+  NVMECR_RETURN_IF_ERROR(dec.u64(live));
+  if (live > total || (total > 0 && head >= total)) {
+    return CorruptionError("block pool header inconsistent");
+  }
+  ring_.resize(total);
+  for (uint64_t i = 0; i < total; ++i) {
+    NVMECR_RETURN_IF_ERROR(dec.u64(ring_[i]));
+    if (ring_[i] >= total) return CorruptionError("ring entry out of range");
+  }
+  allocated_.assign(total, false);
+  for (uint64_t i = 0; i < total; i += 64) {
+    uint64_t word = 0;
+    NVMECR_RETURN_IF_ERROR(dec.u64(word));
+    for (uint64_t b = 0; b < 64 && i + b < total; ++b) {
+      allocated_[i + b] = (word >> b) & 1;
+    }
+  }
+  total_ = total;
+  head_ = head;
+  live_ = live;
+  // Cross-check: allocated bitmap must agree with the free window.
+  uint64_t free_bits = 0;
+  for (uint64_t i = 0; i < total; ++i) free_bits += allocated_[i] ? 0 : 1;
+  if (free_bits != live_) return CorruptionError("pool bitmap disagrees");
+  return dec.consumed();
+}
+
+}  // namespace nvmecr::microfs

@@ -1,0 +1,347 @@
+// In-memory B+Tree.
+//
+// The microfs control plane keeps the mapping of file/directory names to
+// their root inodes in a DRAM-resident B+Tree (§III-E "Per-process
+// Private Namespace", "Metadata Provenance"): lookups are frequent and
+// ordered iteration is needed for readdir and for serializing the
+// namespace into the internal state checkpoint.
+//
+// Classic algorithm: values live in leaves, leaves are linked for range
+// scans, internal nodes hold separator keys. Erase rebalances by
+// borrowing from or merging with siblings. The structure is exercised by
+// randomized property tests against std::map (tests/microfs_test.cc).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nvmecr::microfs {
+
+template <typename Key, typename Value, int Fanout = 32>
+class BpTree {
+  static_assert(Fanout >= 4, "Fanout must be at least 4");
+
+ public:
+  BpTree() = default;
+  BpTree(const BpTree&) = delete;
+  BpTree& operator=(const BpTree&) = delete;
+  BpTree(BpTree&&) = default;
+  BpTree& operator=(BpTree&&) = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts or overwrites. Returns true if the key was new.
+  bool insert(const Key& key, Value value) {
+    if (!root_) {
+      auto leaf = std::make_unique<Node>(/*leaf=*/true);
+      leaf->keys.push_back(key);
+      leaf->values.push_back(std::move(value));
+      root_ = std::move(leaf);
+      height_ = 1;
+      size_ = 1;
+      return true;
+    }
+    InsertResult result = insert_into(root_.get(), key, std::move(value));
+    if (result.split_right) {
+      auto new_root = std::make_unique<Node>(/*leaf=*/false);
+      new_root->keys.push_back(result.split_key);
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(result.split_right));
+      root_ = std::move(new_root);
+      ++height_;
+    }
+    if (result.inserted) ++size_;
+    return result.inserted;
+  }
+
+  /// Returns the value for `key`, or nullptr.
+  const Value* find(const Key& key) const {
+    const Node* node = root_.get();
+    if (!node) return nullptr;
+    while (!node->leaf) {
+      node = node->children[child_index(node, key)].get();
+    }
+    const auto it =
+        std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    if (it == node->keys.end() || *it != key) return nullptr;
+    return &node->values[static_cast<size_t>(it - node->keys.begin())];
+  }
+  Value* find(const Key& key) {
+    return const_cast<Value*>(std::as_const(*this).find(key));
+  }
+  bool contains(const Key& key) const { return find(key) != nullptr; }
+
+  /// Removes `key`; returns true if it was present.
+  bool erase(const Key& key) {
+    if (!root_) return false;
+    const bool erased = erase_from(root_.get(), key);
+    if (erased) {
+      --size_;
+      // Shrink the root when it has a single child (or is an empty leaf).
+      while (!root_->leaf && root_->children.size() == 1) {
+        root_ = std::move(root_->children[0]);
+        --height_;
+      }
+      if (root_->leaf && root_->keys.empty()) {
+        root_.reset();
+        height_ = 0;
+      }
+    }
+    return erased;
+  }
+
+  void clear() {
+    root_.reset();
+    size_ = 0;
+    height_ = 0;
+  }
+
+  /// In-order visit of all (key, value) pairs via the leaf chain.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const Node* leaf = leftmost_leaf();
+    while (leaf != nullptr) {
+      for (size_t i = 0; i < leaf->keys.size(); ++i) {
+        fn(leaf->keys[i], leaf->values[i]);
+      }
+      leaf = leaf->next;
+    }
+  }
+
+  /// Visits pairs with key >= `from`, stopping when fn returns false.
+  template <typename Fn>
+  void scan_from(const Key& from, Fn&& fn) const {
+    const Node* node = root_.get();
+    if (!node) return;
+    while (!node->leaf) {
+      node = node->children[child_index(node, from)].get();
+    }
+    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), from);
+    size_t i = static_cast<size_t>(it - node->keys.begin());
+    while (node != nullptr) {
+      for (; i < node->keys.size(); ++i) {
+        if (!fn(node->keys[i], node->values[i])) return;
+      }
+      node = node->next;
+      i = 0;
+    }
+  }
+
+  int height() const { return height_; }
+
+  /// Approximate DRAM footprint (Table I accounting).
+  size_t memory_footprint() const {
+    return node_count_ * sizeof(Node) +
+           size_ * (sizeof(Key) + sizeof(Value));
+  }
+
+ private:
+  struct Node {
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+    bool leaf;
+    std::vector<Key> keys;
+    // Leaves: values parallel to keys. Internal: children.size() ==
+    // keys.size() + 1, keys[i] = smallest key in children[i+1]'s subtree.
+    std::vector<Value> values;
+    std::vector<std::unique_ptr<Node>> children;
+    Node* next = nullptr;  // leaf chain
+  };
+
+  struct InsertResult {
+    bool inserted = false;
+    Key split_key{};
+    std::unique_ptr<Node> split_right;
+  };
+
+  static size_t child_index(const Node* node, const Key& key) {
+    const auto it =
+        std::upper_bound(node->keys.begin(), node->keys.end(), key);
+    return static_cast<size_t>(it - node->keys.begin());
+  }
+
+  InsertResult insert_into(Node* node, const Key& key, Value value) {
+    InsertResult result;
+    if (node->leaf) {
+      auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+      const size_t pos = static_cast<size_t>(it - node->keys.begin());
+      if (it != node->keys.end() && *it == key) {
+        node->values[pos] = std::move(value);  // overwrite
+        return result;
+      }
+      node->keys.insert(it, key);
+      node->values.insert(node->values.begin() + static_cast<ptrdiff_t>(pos),
+                          std::move(value));
+      result.inserted = true;
+      if (node->keys.size() >= Fanout) split_leaf(node, result);
+      return result;
+    }
+    const size_t ci = child_index(node, key);
+    InsertResult child_result =
+        insert_into(node->children[ci].get(), key, std::move(value));
+    result.inserted = child_result.inserted;
+    if (child_result.split_right) {
+      node->keys.insert(node->keys.begin() + static_cast<ptrdiff_t>(ci),
+                        child_result.split_key);
+      node->children.insert(
+          node->children.begin() + static_cast<ptrdiff_t>(ci) + 1,
+          std::move(child_result.split_right));
+      if (node->children.size() > Fanout) split_internal(node, result);
+    }
+    return result;
+  }
+
+  void split_leaf(Node* node, InsertResult& result) {
+    auto right = std::make_unique<Node>(/*leaf=*/true);
+    const size_t mid = node->keys.size() / 2;
+    right->keys.assign(node->keys.begin() + static_cast<ptrdiff_t>(mid),
+                       node->keys.end());
+    right->values.assign(
+        std::make_move_iterator(node->values.begin() +
+                                static_cast<ptrdiff_t>(mid)),
+        std::make_move_iterator(node->values.end()));
+    node->keys.resize(mid);
+    node->values.resize(mid);
+    right->next = node->next;
+    node->next = right.get();
+    ++node_count_;
+    result.split_key = right->keys.front();
+    result.split_right = std::move(right);
+  }
+
+  void split_internal(Node* node, InsertResult& result) {
+    auto right = std::make_unique<Node>(/*leaf=*/false);
+    const size_t mid = node->children.size() / 2;  // children to keep left
+    // keys[mid-1] moves up as the separator.
+    result.split_key = node->keys[mid - 1];
+    right->keys.assign(node->keys.begin() + static_cast<ptrdiff_t>(mid),
+                       node->keys.end());
+    right->children.assign(
+        std::make_move_iterator(node->children.begin() +
+                                static_cast<ptrdiff_t>(mid)),
+        std::make_move_iterator(node->children.end()));
+    node->keys.resize(mid - 1);
+    node->children.resize(mid);
+    ++node_count_;
+    result.split_right = std::move(right);
+  }
+
+  bool erase_from(Node* node, const Key& key) {
+    if (node->leaf) {
+      auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+      if (it == node->keys.end() || *it != key) return false;
+      const size_t pos = static_cast<size_t>(it - node->keys.begin());
+      node->keys.erase(it);
+      node->values.erase(node->values.begin() + static_cast<ptrdiff_t>(pos));
+      return true;
+    }
+    const size_t ci = child_index(node, key);
+    Node* child = node->children[ci].get();
+    if (!erase_from(child, key)) return false;
+    if (underflowed(child)) rebalance(node, ci);
+    return true;
+  }
+
+  static bool underflowed(const Node* node) {
+    const size_t min_keys = Fanout / 2 - 1;
+    return node->leaf ? node->keys.size() < min_keys
+                      : node->children.size() < Fanout / 2;
+  }
+
+  void rebalance(Node* parent, size_t ci) {
+    Node* child = parent->children[ci].get();
+    Node* left = ci > 0 ? parent->children[ci - 1].get() : nullptr;
+    Node* right = ci + 1 < parent->children.size()
+                      ? parent->children[ci + 1].get()
+                      : nullptr;
+
+    if (child->leaf) {
+      if (left && left->keys.size() > Fanout / 2) {
+        // Borrow rightmost from the left sibling.
+        child->keys.insert(child->keys.begin(), left->keys.back());
+        child->values.insert(child->values.begin(),
+                             std::move(left->values.back()));
+        left->keys.pop_back();
+        left->values.pop_back();
+        parent->keys[ci - 1] = child->keys.front();
+      } else if (right && right->keys.size() > Fanout / 2) {
+        child->keys.push_back(right->keys.front());
+        child->values.push_back(std::move(right->values.front()));
+        right->keys.erase(right->keys.begin());
+        right->values.erase(right->values.begin());
+        parent->keys[ci] = right->keys.front();
+      } else if (left) {
+        merge_leaves(parent, ci - 1);
+      } else if (right) {
+        merge_leaves(parent, ci);
+      }
+    } else {
+      if (left && left->children.size() > Fanout / 2) {
+        child->keys.insert(child->keys.begin(), parent->keys[ci - 1]);
+        parent->keys[ci - 1] = left->keys.back();
+        left->keys.pop_back();
+        child->children.insert(child->children.begin(),
+                               std::move(left->children.back()));
+        left->children.pop_back();
+      } else if (right && right->children.size() > Fanout / 2) {
+        child->keys.push_back(parent->keys[ci]);
+        parent->keys[ci] = right->keys.front();
+        right->keys.erase(right->keys.begin());
+        child->children.push_back(std::move(right->children.front()));
+        right->children.erase(right->children.begin());
+      } else if (left) {
+        merge_internals(parent, ci - 1);
+      } else if (right) {
+        merge_internals(parent, ci);
+      }
+    }
+  }
+
+  /// Merges children[i+1] into children[i] (both leaves).
+  void merge_leaves(Node* parent, size_t i) {
+    Node* dst = parent->children[i].get();
+    Node* src = parent->children[i + 1].get();
+    dst->keys.insert(dst->keys.end(), src->keys.begin(), src->keys.end());
+    dst->values.insert(dst->values.end(),
+                       std::make_move_iterator(src->values.begin()),
+                       std::make_move_iterator(src->values.end()));
+    dst->next = src->next;
+    parent->keys.erase(parent->keys.begin() + static_cast<ptrdiff_t>(i));
+    parent->children.erase(parent->children.begin() +
+                           static_cast<ptrdiff_t>(i) + 1);
+    --node_count_;
+  }
+
+  /// Merges children[i+1] into children[i] (both internal).
+  void merge_internals(Node* parent, size_t i) {
+    Node* dst = parent->children[i].get();
+    Node* src = parent->children[i + 1].get();
+    dst->keys.push_back(parent->keys[i]);
+    dst->keys.insert(dst->keys.end(), src->keys.begin(), src->keys.end());
+    dst->children.insert(dst->children.end(),
+                         std::make_move_iterator(src->children.begin()),
+                         std::make_move_iterator(src->children.end()));
+    parent->keys.erase(parent->keys.begin() + static_cast<ptrdiff_t>(i));
+    parent->children.erase(parent->children.begin() +
+                           static_cast<ptrdiff_t>(i) + 1);
+    --node_count_;
+  }
+
+  const Node* leftmost_leaf() const {
+    const Node* node = root_.get();
+    if (!node) return nullptr;
+    while (!node->leaf) node = node->children.front().get();
+    return node;
+  }
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  size_t node_count_ = 1;
+  int height_ = 0;
+};
+
+}  // namespace nvmecr::microfs

@@ -1,0 +1,83 @@
+// Directory files (§III-E "Per-process Private Namespace").
+//
+// Each directory's entries are also persisted as a stream of compact
+// dirent records appended to the directory *file* on the remote SSD —
+// the root directory is itself such a file on the process's partition.
+// The DRAM B+Tree is the authoritative lookup structure; the device
+// stream exists for durability accounting (every create pays one dirent
+// append — the cost Figure 8(b) measures) and auditability (tests decode
+// it and check it against the namespace).
+//
+// Removal appends a tombstone record; the live view of a stream is
+// adds minus tombstones, newest-wins.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "microfs/codec.h"
+#include "microfs/inode.h"
+
+namespace nvmecr::microfs {
+
+struct Dirent {
+  bool add = true;  // false = tombstone
+  std::string name;
+  Ino ino = kInvalidIno;
+};
+
+/// Appends one dirent's encoding to `out`; returns encoded size.
+inline size_t encode_dirent(const Dirent& d, std::vector<std::byte>& out) {
+  const size_t before = out.size();
+  Encoder enc(out);
+  enc.u8(d.add ? 1 : 0);
+  enc.u64(d.ino);
+  enc.str(d.name);
+  return out.size() - before;
+}
+
+/// Size the encoding of a dirent would take (for inode-size bookkeeping
+/// without materializing the buffer).
+inline uint64_t dirent_encoded_size(const std::string& name) {
+  return 1 + 8 + 4 + name.size();
+}
+
+/// Decodes a full dirent stream (a directory file's contents).
+inline StatusOr<std::vector<Dirent>> decode_dirents(
+    std::span<const std::byte> in) {
+  std::vector<Dirent> out;
+  Decoder dec(in);
+  while (dec.remaining() > 0) {
+    Dirent d;
+    uint8_t add = 0;
+    NVMECR_RETURN_IF_ERROR(dec.u8(add));
+    NVMECR_RETURN_IF_ERROR(dec.u64(d.ino));
+    NVMECR_RETURN_IF_ERROR(dec.str(d.name));
+    d.add = add != 0;
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+/// Folds a dirent stream into the live name -> ino view (newest wins).
+inline std::vector<Dirent> live_view(const std::vector<Dirent>& stream) {
+  std::vector<Dirent> live;
+  for (const auto& d : stream) {
+    auto it = std::find_if(live.begin(), live.end(), [&](const Dirent& e) {
+      return e.name == d.name;
+    });
+    if (d.add) {
+      if (it != live.end()) {
+        it->ino = d.ino;
+      } else {
+        live.push_back(d);
+      }
+    } else if (it != live.end()) {
+      live.erase(it);
+    }
+  }
+  return live;
+}
+
+}  // namespace nvmecr::microfs

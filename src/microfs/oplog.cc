@@ -1,0 +1,160 @@
+#include "microfs/oplog.h"
+
+#include <algorithm>
+
+#include "common/crc.h"
+#include "microfs/codec.h"
+
+namespace nvmecr::microfs {
+
+namespace {
+constexpr uint32_t kRecordMagic = 0x4c524543;  // "LREC"
+}
+
+OpLog::OpLog(hw::BlockDevice& dev, uint64_t region_base, uint32_t slots,
+             uint32_t coalesce_window)
+    : dev_(dev),
+      region_base_(region_base),
+      slots_(slots),
+      coalesce_window_(coalesce_window) {
+  NVMECR_CHECK(slots_ > 0);
+}
+
+void OpLog::encode_record(const LogRecord& rec, std::vector<std::byte>& out) {
+  out.clear();
+  out.reserve(kRecordBytes);
+  Encoder enc(out);
+  enc.u32(kRecordMagic);
+  enc.u64(rec.lsn);
+  enc.u32(rec.epoch);
+  enc.u8(static_cast<uint8_t>(rec.type));
+  enc.u64(rec.ino);
+  enc.u64(rec.parent);
+  enc.u64(rec.a);
+  enc.u64(rec.b);
+  enc.u8(rec.flags);
+  NVMECR_CHECK(rec.name.size() <= kMaxName);
+  enc.str(rec.name);
+  const uint32_t crc =
+      static_cast<uint32_t>(crc64(out.data(), out.size()));
+  enc.u32(crc);
+  NVMECR_CHECK(out.size() <= kRecordBytes);
+  out.resize(kRecordBytes);  // zero-pad the slot
+}
+
+StatusOr<LogRecord> OpLog::decode_record(std::span<const std::byte> in) {
+  Decoder dec(in);
+  uint32_t magic = 0;
+  NVMECR_RETURN_IF_ERROR(dec.u32(magic));
+  if (magic != kRecordMagic) return CorruptionError("bad record magic");
+  LogRecord rec;
+  uint8_t type = 0;
+  NVMECR_RETURN_IF_ERROR(dec.u64(rec.lsn));
+  NVMECR_RETURN_IF_ERROR(dec.u32(rec.epoch));
+  NVMECR_RETURN_IF_ERROR(dec.u8(type));
+  NVMECR_RETURN_IF_ERROR(dec.u64(rec.ino));
+  NVMECR_RETURN_IF_ERROR(dec.u64(rec.parent));
+  NVMECR_RETURN_IF_ERROR(dec.u64(rec.a));
+  NVMECR_RETURN_IF_ERROR(dec.u64(rec.b));
+  NVMECR_RETURN_IF_ERROR(dec.u8(rec.flags));
+  NVMECR_RETURN_IF_ERROR(dec.str(rec.name));
+  const size_t body = dec.consumed();
+  uint32_t stored_crc = 0;
+  NVMECR_RETURN_IF_ERROR(dec.u32(stored_crc));
+  const uint32_t actual =
+      static_cast<uint32_t>(crc64(in.data(), body));
+  if (stored_crc != actual) return CorruptionError("record crc mismatch");
+  if (type < 1 || type > 4) return CorruptionError("bad record type");
+  rec.type = static_cast<OpType>(type);
+  return rec;
+}
+
+sim::Task<Status> OpLog::write_slot(uint32_t slot, const LogRecord& rec) {
+  std::vector<std::byte> buf;
+  encode_record(rec, buf);
+  counters_.bytes_written += buf.size();
+  co_return co_await dev_.write(
+      region_base_ + static_cast<uint64_t>(slot) * kRecordBytes, buf);
+}
+
+sim::Task<Status> OpLog::append(LogRecord rec, bool allow_coalesce,
+                                bool* coalesced_out) {
+  if (coalesced_out != nullptr) *coalesced_out = false;
+
+  // Coalescing: look back through the window for a WRITE record on the
+  // same file whose range ends where this write begins (Figure 5).
+  if (allow_coalesce && rec.type == OpType::kWrite && coalesce_window_ > 0) {
+    const size_t window =
+        std::min<size_t>(coalesce_window_, live_.size());
+    for (size_t back = 0; back < window; ++back) {
+      LiveRecord& cand = live_[live_.size() - 1 - back];
+      if (cand.record.type == OpType::kWrite &&
+          cand.record.ino == rec.ino &&
+          cand.record.epoch == epoch_ &&  // never extend across a snapshot
+          cand.record.a + cand.record.b == rec.a) {
+        cand.record.b += rec.b;
+        ++counters_.coalesced;
+        if (coalesced_out != nullptr) *coalesced_out = true;
+        co_return co_await write_slot(cand.slot, cand.record);
+      }
+    }
+  }
+
+  if (live_.size() >= slots_) {
+    ++counters_.forced_full;
+    co_return UnavailableError("operation log full");
+  }
+
+  rec.lsn = next_lsn_++;
+  rec.epoch = epoch_;
+  const uint32_t slot = next_slot_;
+  next_slot_ = (next_slot_ + 1) % slots_;
+  live_.push_back(LiveRecord{slot, rec});
+  ++counters_.appended;
+  co_return co_await write_slot(slot, live_.back().record);
+}
+
+uint32_t OpLog::begin_epoch() { return ++epoch_; }
+
+void OpLog::truncate_before(uint32_t epoch) {
+  while (!live_.empty() && live_.front().record.epoch < epoch) {
+    live_.pop_front();
+  }
+}
+
+void OpLog::restore(
+    const std::vector<std::pair<uint32_t, LogRecord>>& slot_records,
+    uint32_t epoch, uint64_t next_lsn) {
+  live_.clear();
+  for (const auto& [slot, rec] : slot_records) {
+    live_.push_back(LiveRecord{slot, rec});
+  }
+  epoch_ = epoch;
+  next_lsn_ = next_lsn;
+  // Continue allocating after the newest live slot (or 0 on empty).
+  next_slot_ = live_.empty() ? 0 : (live_.back().slot + 1) % slots_;
+}
+
+sim::Task<StatusOr<std::vector<std::pair<uint32_t, LogRecord>>>> OpLog::scan(
+    hw::BlockDevice& dev, uint64_t region_base, uint32_t slots,
+    uint32_t min_epoch) {
+  std::vector<std::byte> buf(static_cast<size_t>(slots) * kRecordBytes);
+  Status s = co_await dev.read(region_base, buf);
+  if (!s.ok()) {
+    co_return StatusOr<std::vector<std::pair<uint32_t, LogRecord>>>(s);
+  }
+  std::vector<std::pair<uint32_t, LogRecord>> out;
+  for (uint32_t slot = 0; slot < slots; ++slot) {
+    auto rec = decode_record(std::span<const std::byte>(
+        buf.data() + static_cast<size_t>(slot) * kRecordBytes, kRecordBytes));
+    if (!rec.ok()) continue;  // empty or stale slot
+    if (rec->epoch < min_epoch) continue;
+    out.emplace_back(slot, std::move(*rec));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& x, const auto& y) {
+    return x.second.lsn < y.second.lsn;
+  });
+  co_return out;
+}
+
+}  // namespace nvmecr::microfs

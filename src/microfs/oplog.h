@@ -1,0 +1,145 @@
+// Write-ahead operation log with log record coalescing (§III-E
+// "Metadata Provenance" + Figure 5).
+//
+// Every metadata-mutating syscall (mkdir, creat, write, unlink) appends a
+// compact fixed-size record to a ring of slots on the remote SSD; the
+// record is durable before the next operation proceeds. Only the syscall
+// type and parameters are logged — never inodes or physical state — so
+// recovery replays the operations against the last internal state
+// checkpoint.
+//
+// Coalescing: consecutive writes to the same file update the previous
+// WRITE record in place (extending its length) instead of consuming a
+// new slot, exploiting the sequential nature of checkpoint IO. This
+// keeps the log fill rate low (fewer forced state checkpoints) and makes
+// replay near-instant (§IV-I: recovery 3.6 s with coalescing vs 4 s
+// without).
+//
+// Epochs mark state-checkpoint boundaries: begin_epoch() is called when
+// a snapshot is taken; records after the snapshot carry the new epoch;
+// truncate_before(E) discards older records once the checkpoint of epoch
+// E is durable. Recovery replays every record with epoch >= the loaded
+// checkpoint's epoch, in LSN order.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "hw/block_device.h"
+#include "microfs/inode.h"
+#include "simcore/task.h"
+
+namespace nvmecr::microfs {
+
+enum class OpType : uint8_t {
+  kMkdir = 1,
+  kCreate = 2,
+  kWrite = 3,
+  kUnlink = 4,
+};
+
+struct LogRecord {
+  uint64_t lsn = 0;
+  uint32_t epoch = 0;
+  OpType type = OpType::kWrite;
+  Ino ino = kInvalidIno;
+  Ino parent = kInvalidIno;
+  /// Type-specific: kWrite -> (offset, length); kCreate/kMkdir ->
+  /// (mode, content seed); kUnlink -> unused.
+  uint64_t a = 0;
+  uint64_t b = 0;
+  /// Bit 0 on kWrite: the payload was tagged (pattern) content; recovery
+  /// restores the file's content kind from it.
+  uint8_t flags = 0;
+  /// Path component for namespace ops (empty for kWrite).
+  std::string name;
+};
+
+inline constexpr uint8_t kLogFlagTagged = 1;
+
+class OpLog {
+ public:
+  /// On-device bytes per slot (compact — contrast with 4 KiB+ physical
+  /// journal blocks in kernel filesystems).
+  static constexpr uint32_t kRecordBytes = 192;
+  static constexpr size_t kMaxName = 80;
+
+  struct Counters {
+    uint64_t appended = 0;        // records that took a new slot
+    uint64_t coalesced = 0;       // in-place extensions of a prior record
+    uint64_t bytes_written = 0;   // device bytes for log maintenance
+    uint64_t forced_full = 0;     // appends rejected because the ring was full
+  };
+
+  /// `region_base` is the byte offset of the slot ring within `dev`;
+  /// `slots` its capacity. `coalesce_window` bounds the backward search
+  /// for a coalescible record (0 disables coalescing — the ablation and
+  /// drilldown baselines).
+  OpLog(hw::BlockDevice& dev, uint64_t region_base, uint32_t slots,
+        uint32_t coalesce_window);
+
+  /// Appends (or coalesces) and waits until the record is durable on the
+  /// device. `allow_coalesce` is the caller's determinism gate (see
+  /// MicroFs::CoalesceCandidate); the window/contiguity/epoch conditions
+  /// are checked here. Returns kUnavailable when the ring is full — the
+  /// caller must checkpoint state and truncate first.
+  sim::Task<Status> append(LogRecord rec, bool allow_coalesce = true,
+                           bool* coalesced_out = nullptr);
+
+  uint32_t capacity() const { return slots_; }
+  uint32_t live_records() const { return static_cast<uint32_t>(live_.size()); }
+  uint32_t free_slots() const { return slots_ - live_records(); }
+  uint32_t epoch() const { return epoch_; }
+  uint64_t next_lsn() const { return next_lsn_; }
+  const Counters& counters() const { return counters_; }
+
+  /// Starts a new epoch at a state-snapshot boundary; also closes the
+  /// coalescing window so pre-snapshot records are never extended.
+  uint32_t begin_epoch();
+
+  /// Drops in-DRAM tracking of records older than `epoch` (their slots
+  /// become reusable). Called after the checkpoint of `epoch` is durable.
+  void truncate_before(uint32_t epoch);
+
+  /// Restores in-DRAM tracking from recovered records (post-replay), so
+  /// a recovered filesystem can continue appending. `records` must be
+  /// LSN-sorted; their slots are re-derived from the scan.
+  void restore(const std::vector<std::pair<uint32_t, LogRecord>>& slot_records,
+               uint32_t epoch, uint64_t next_lsn);
+
+  /// Recovery scan: decodes every valid slot with epoch >= min_epoch,
+  /// returned as (slot index, record) sorted by LSN.
+  static sim::Task<StatusOr<std::vector<std::pair<uint32_t, LogRecord>>>> scan(
+      hw::BlockDevice& dev, uint64_t region_base, uint32_t slots,
+      uint32_t min_epoch);
+
+  /// On-device footprint of the ring (Table I accounting).
+  uint64_t region_bytes() const {
+    return static_cast<uint64_t>(slots_) * kRecordBytes;
+  }
+
+  static void encode_record(const LogRecord& rec, std::vector<std::byte>& out);
+  static StatusOr<LogRecord> decode_record(std::span<const std::byte> in);
+
+ private:
+  struct LiveRecord {
+    uint32_t slot;
+    LogRecord record;
+  };
+
+  sim::Task<Status> write_slot(uint32_t slot, const LogRecord& rec);
+
+  hw::BlockDevice& dev_;
+  uint64_t region_base_;
+  uint32_t slots_;
+  uint32_t coalesce_window_;
+
+  std::deque<LiveRecord> live_;  // oldest first; back = newest
+  uint32_t next_slot_ = 0;
+  uint64_t next_lsn_ = 1;
+  uint32_t epoch_ = 1;
+  Counters counters_;
+};
+
+}  // namespace nvmecr::microfs

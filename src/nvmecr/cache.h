@@ -1,0 +1,198 @@
+// DRAM cache layer over an NVMe-CR client — the paper's future work
+// ("we plan to study the impact of a cache layer over NVMe-CR", §V).
+//
+// Write-through, whole-file granularity: writes go to the runtime (the
+// durability story is unchanged — the cache is never the only copy) and
+// populate the cache; reads of a fully cached file are served at DRAM
+// speed, which is exactly the restart-after-checkpoint pattern (the
+// newest checkpoint is still warm when the job restarts in place).
+// Least-recently-used eviction by bytes.
+#pragma once
+
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baselines/storage_api.h"
+#include "simcore/engine.h"
+
+namespace nvmecr::nvmecr_rt {
+
+using namespace nvmecr::literals;
+
+struct CacheStats {
+  uint64_t hit_bytes = 0;
+  uint64_t miss_bytes = 0;
+  uint64_t evictions = 0;
+  uint64_t resident_bytes = 0;
+  double hit_rate() const {
+    const uint64_t total = hit_bytes + miss_bytes;
+    return total ? static_cast<double>(hit_bytes) / total : 0.0;
+  }
+};
+
+class CachedClient final : public baselines::StorageClient {
+ public:
+  CachedClient(sim::Engine& engine,
+               std::unique_ptr<baselines::StorageClient> inner,
+               uint64_t capacity_bytes, uint64_t dram_bw = 8_GBps)
+      : engine_(engine),
+        inner_(std::move(inner)),
+        capacity_(capacity_bytes),
+        dram_bw_(dram_bw) {}
+
+  sim::Task<StatusOr<int>> create(const std::string& path) override {
+    invalidate(path);
+    auto fd = co_await inner_->create(path);
+    if (fd.ok()) {
+      open_[*fd] = OpenFile{path, /*writing=*/true, 0};
+    }
+    co_return fd;
+  }
+
+  sim::Task<StatusOr<int>> open_read(const std::string& path) override {
+    auto fd = co_await inner_->open_read(path);
+    if (fd.ok()) {
+      open_[*fd] = OpenFile{path, /*writing=*/false, 0};
+    }
+    co_return fd;
+  }
+
+  sim::Task<Status> write(int fd, uint64_t len) override {
+    // Write-through: device first (durability), then populate.
+    Status s = co_await inner_->write(fd, len);
+    if (s.ok()) {
+      auto it = open_.find(fd);
+      if (it != open_.end()) {
+        // The DRAM copy costs a memcpy.
+        co_await engine_.delay(transfer_time(len, dram_bw_));
+        extend_resident(it->second.path, len);
+        it->second.bytes += len;
+      }
+    }
+    co_return s;
+  }
+
+  sim::Task<Status> read(int fd, uint64_t len) override {
+    auto it = open_.find(fd);
+    if (it == open_.end()) co_return co_await inner_->read(fd, len);
+    auto entry = entries_.find(it->second.path);
+    if (entry != entries_.end() && entry->second.complete) {
+      // Cache hit: DRAM copy instead of device + fabric.
+      touch(entry->first, entry->second);
+      stats_.hit_bytes += len;
+      co_await engine_.delay(transfer_time(len, dram_bw_));
+      co_return OkStatus();
+    }
+    stats_.miss_bytes += len;
+    Status s = co_await inner_->read(fd, len);
+    if (s.ok()) {
+      co_await engine_.delay(transfer_time(len, dram_bw_));
+      extend_resident(it->second.path, len);
+    }
+    co_return s;
+  }
+
+  sim::Task<Status> fsync(int fd) override {
+    co_return co_await inner_->fsync(fd);
+  }
+
+  sim::Task<Status> close(int fd) override {
+    auto it = open_.find(fd);
+    if (it != open_.end()) {
+      auto entry = entries_.find(it->second.path);
+      if (entry != entries_.end()) {
+        if (it->second.writing) {
+          // The writer knows the file's full size; the entry is a usable
+          // whole-file copy only if every byte is resident and fits.
+          entry->second.expected = it->second.bytes;
+        }
+        if (entry->second.expected > 0 &&
+            entry->second.bytes == entry->second.expected &&
+            entry->second.expected <= capacity_) {
+          entry->second.complete = true;
+        } else if (it->second.writing) {
+          invalidate(it->second.path);
+        }
+      }
+      open_.erase(it);
+    }
+    co_return co_await inner_->close(fd);
+  }
+
+  sim::Task<Status> unlink(const std::string& path) override {
+    invalidate(path);
+    co_return co_await inner_->unlink(path);
+  }
+
+  const CacheStats& stats() const { return stats_; }
+  uint64_t capacity() const { return capacity_; }
+
+ private:
+  struct OpenFile {
+    std::string path;
+    bool writing = false;
+    uint64_t bytes = 0;
+  };
+  struct Entry {
+    uint64_t bytes = 0;
+    uint64_t expected = 0;  // full file size (set by the writer's close)
+    bool complete = false;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  void touch(const std::string& path, Entry& entry) {
+    lru_.erase(entry.lru_pos);
+    lru_.push_front(path);
+    entry.lru_pos = lru_.begin();
+  }
+
+  void extend_resident(const std::string& path, uint64_t len) {
+    auto [it, inserted] = entries_.try_emplace(path);
+    if (inserted) {
+      lru_.push_front(path);
+      it->second.lru_pos = lru_.begin();
+    } else {
+      lru_.erase(it->second.lru_pos);
+      lru_.push_front(path);
+      it->second.lru_pos = lru_.begin();
+    }
+    it->second.bytes += len;
+    stats_.resident_bytes += len;
+    // A file larger than the whole cache is uncacheable.
+    if (it->second.bytes > capacity_) {
+      invalidate(path);
+      return;
+    }
+    // Evict LRU entries until within capacity (never the one just used).
+    while (stats_.resident_bytes > capacity_ && lru_.size() > 1) {
+      const std::string victim = lru_.back();
+      lru_.pop_back();
+      auto v = entries_.find(victim);
+      NVMECR_CHECK(v != entries_.end());
+      stats_.resident_bytes -= v->second.bytes;
+      entries_.erase(v);
+      ++stats_.evictions;
+    }
+  }
+
+  void invalidate(const std::string& path) {
+    auto it = entries_.find(path);
+    if (it == entries_.end()) return;
+    stats_.resident_bytes -= it->second.bytes;
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
+
+  sim::Engine& engine_;
+  std::unique_ptr<baselines::StorageClient> inner_;
+  uint64_t capacity_;
+  uint64_t dram_bw_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  std::map<int, OpenFile> open_;
+  CacheStats stats_;
+};
+
+}  // namespace nvmecr::nvmecr_rt

@@ -1,0 +1,95 @@
+#include "nvmecr/cluster.h"
+
+namespace nvmecr::nvmecr_rt {
+
+Cluster::Cluster(ClusterSpec spec)
+    : spec_(spec),
+      topo_([&] {
+        fabric::Topology t;
+        t.add_rack(spec.compute_nodes, fabric::NodeRole::kCompute, "compute");
+        t.add_rack(spec.storage_nodes, fabric::NodeRole::kStorage, "storage");
+        return t;
+      }()),
+      net_(engine_, topo_, spec.network) {
+  compute_nodes_ = topo_.nodes_with_role(fabric::NodeRole::kCompute);
+  storage_nodes_ = topo_.nodes_with_role(fabric::NodeRole::kStorage);
+  for (uint32_t i = 0; i < storage_nodes_.size(); ++i) {
+    storage_ssds_.push_back(std::make_unique<hw::NvmeSsd>(
+        engine_, spec.ssd, "storage-nvme" + std::to_string(i)));
+    targets_.push_back(std::make_unique<nvmf::NvmfTarget>(
+        engine_, net_, storage_nodes_[i], *storage_ssds_.back(), spec.nvmf));
+  }
+  if (spec.local_ssds) {
+    for (uint32_t i = 0; i < compute_nodes_.size(); ++i) {
+      local_ssds_.push_back(std::make_unique<hw::NvmeSsd>(
+          engine_, spec.ssd, "local-nvme" + std::to_string(i)));
+    }
+  }
+}
+
+uint32_t Cluster::storage_ssd_index(fabric::NodeId node) const {
+  for (uint32_t i = 0; i < storage_nodes_.size(); ++i) {
+    if (storage_nodes_[i] == node) return i;
+  }
+  NVMECR_CHECK(false && "not a storage node");
+  return 0;
+}
+
+hw::NvmeSsd& Cluster::local_ssd(fabric::NodeId node) {
+  NVMECR_CHECK(spec_.local_ssds);
+  for (uint32_t i = 0; i < compute_nodes_.size(); ++i) {
+    if (compute_nodes_[i] == node) return *local_ssds_[i];
+  }
+  NVMECR_CHECK(false && "not a compute node");
+  return *local_ssds_[0];
+}
+
+StatusOr<JobAllocation> Scheduler::allocate(uint32_t nranks,
+                                            uint32_t procs_per_node,
+                                            uint64_t partition_bytes,
+                                            uint32_t num_ssds) {
+  JobAllocation job;
+  job.procs_per_node = procs_per_node;
+  job.partition_bytes = partition_bytes;
+  job.rank_nodes.reserve(nranks);
+  for (uint32_t r = 0; r < nranks; ++r) {
+    job.rank_nodes.push_back(cluster_.node_of_rank(r, procs_per_node));
+  }
+
+  BalancerRequest request;
+  request.rank_nodes = job.rank_nodes;
+  request.storage_nodes = cluster_.storage_nodes();
+  request.num_ssds = num_ssds;
+  NVMECR_ASSIGN_OR_RETURN(job.assignment,
+                          StorageBalancer::assign(cluster_.topology(),
+                                                  request));
+
+  // One namespace per allocated SSD, sized for its share of ranks. If an
+  // SSD lacks free namespaces or space the whole allocation is rolled
+  // back (jobs are all-or-nothing).
+  for (uint32_t s = 0; s < job.assignment.ssd_nodes.size(); ++s) {
+    hw::NvmeSsd& ssd =
+        cluster_.storage_ssd(cluster_.storage_ssd_index(
+            job.assignment.ssd_nodes[s]));
+    const uint64_t bytes =
+        partition_bytes * std::max<uint32_t>(1, job.assignment.ranks_per_ssd[s]);
+    auto nsid = ssd.create_namespace(bytes);
+    if (!nsid.ok()) {
+      release(job);
+      return nsid.status();
+    }
+    job.nsid_per_ssd.push_back(*nsid);
+  }
+  return job;
+}
+
+void Scheduler::release(const JobAllocation& job) {
+  for (uint32_t s = 0; s < job.nsid_per_ssd.size(); ++s) {
+    hw::NvmeSsd& ssd =
+        cluster_.storage_ssd(cluster_.storage_ssd_index(
+            job.assignment.ssd_nodes[s]));
+    (void)ssd.delete_namespace(job.nsid_per_ssd[s]);
+  }
+}
+
+}  // namespace nvmecr::nvmecr_rt

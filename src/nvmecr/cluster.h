@@ -1,0 +1,121 @@
+// Simulated testbed cluster (§IV-A) and the job scheduler that hands
+// NVMe namespaces to jobs (§III-F "Security Model", Slurm-GRES-style).
+//
+// A Cluster owns the engine, topology, network, the storage nodes' SSDs
+// with their NVMf target daemons, and (optionally) per-compute-node
+// local SSDs for the local-access experiments (Figures 7(c), 8(a)).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fabric/network.h"
+#include "fabric/topology.h"
+#include "hw/nvme_ssd.h"
+#include "nvmecr/balancer.h"
+#include "nvmf/target.h"
+#include "simcore/engine.h"
+
+namespace nvmecr::nvmecr_rt {
+
+using namespace nvmecr::literals;
+
+struct ClusterSpec {
+  uint32_t compute_nodes = 16;
+  uint32_t storage_nodes = 8;
+  uint32_t cores_per_node = 28;
+  hw::SsdSpec ssd;                 // per storage node
+  fabric::NetworkParams network;
+  nvmf::NvmfParams nvmf;
+  /// Equip compute nodes with a local SSD too (local experiments).
+  bool local_ssds = false;
+
+  /// Lustre-like PFS for the second checkpoint level (§IV-A: 4 storage
+  /// servers, one 12 Gb/s RAID controller each).
+  uint32_t pfs_servers = 4;
+  uint64_t pfs_server_bw = 1500_MBps;
+
+  static ClusterSpec paper_testbed() { return ClusterSpec{}; }
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterSpec spec = {});
+
+  sim::Engine& engine() { return engine_; }
+  const fabric::Topology& topology() const { return topo_; }
+  fabric::Network& network() { return net_; }
+  const ClusterSpec& spec() const { return spec_; }
+
+  const std::vector<fabric::NodeId>& compute_nodes() const {
+    return compute_nodes_;
+  }
+  const std::vector<fabric::NodeId>& storage_nodes() const {
+    return storage_nodes_;
+  }
+
+  /// Compute node hosting `rank` when ranks fill nodes in blocks of
+  /// `procs_per_node`.
+  fabric::NodeId node_of_rank(uint32_t rank, uint32_t procs_per_node) const {
+    return compute_nodes_[(rank / procs_per_node) % compute_nodes_.size()];
+  }
+
+  /// SSD + NVMf target of storage node `index` (0-based).
+  hw::NvmeSsd& storage_ssd(uint32_t index) { return *storage_ssds_[index]; }
+  nvmf::NvmfTarget& target(uint32_t index) { return *targets_[index]; }
+  uint32_t storage_ssd_index(fabric::NodeId node) const;
+
+  /// Local SSD of a compute node (requires spec.local_ssds).
+  hw::NvmeSsd& local_ssd(fabric::NodeId node);
+
+  /// Aggregate hardware peak over `num_ssds` storage SSDs.
+  uint64_t peak_write_bw(uint32_t num_ssds) const {
+    return static_cast<uint64_t>(num_ssds) * spec_.ssd.write_bw;
+  }
+  uint64_t peak_read_bw(uint32_t num_ssds) const {
+    return static_cast<uint64_t>(num_ssds) * spec_.ssd.read_bw;
+  }
+
+ private:
+  ClusterSpec spec_;
+  sim::Engine engine_;
+  fabric::Topology topo_;
+  fabric::Network net_;
+  std::vector<fabric::NodeId> compute_nodes_;
+  std::vector<fabric::NodeId> storage_nodes_;
+  std::vector<std::unique_ptr<hw::NvmeSsd>> storage_ssds_;
+  std::vector<std::unique_ptr<nvmf::NvmfTarget>> targets_;
+  std::vector<std::unique_ptr<hw::NvmeSsd>> local_ssds_;  // per compute node
+};
+
+/// A job's storage allocation: the balancer result plus the NVMe
+/// namespace created on each allocated SSD (the isolation granularity
+/// the scheduler enforces, §III-F).
+struct JobAllocation {
+  BalancerAssignment assignment;
+  std::vector<uint32_t> nsid_per_ssd;     // parallel to assignment.ssd_nodes
+  std::vector<fabric::NodeId> rank_nodes; // compute node per rank
+  uint64_t partition_bytes = 0;           // per-rank slice of a namespace
+  uint32_t procs_per_node = 0;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(Cluster& cluster) : cluster_(cluster) {}
+
+  /// Allocates storage for a job of `nranks` ranks at `procs_per_node`,
+  /// creating one namespace per chosen SSD sized for the job's
+  /// partitions. `num_ssds` 0 = paper guidance (>= 56 procs per SSD).
+  StatusOr<JobAllocation> allocate(uint32_t nranks, uint32_t procs_per_node,
+                                   uint64_t partition_bytes,
+                                   uint32_t num_ssds = 0);
+
+  /// Deletes the job's namespaces (the runtime is ephemeral — it
+  /// terminates with the job, §I).
+  void release(const JobAllocation& job);
+
+ private:
+  Cluster& cluster_;
+};
+
+}  // namespace nvmecr::nvmecr_rt

@@ -1,0 +1,57 @@
+// Multi-level checkpointing (§III-F "Handling Cascading Failures",
+// evaluated in §IV-I / Table II).
+//
+// Most checkpoints go to the fast ephemeral tier (NVMe-CR); every
+// `interval`-th checkpoint is written to the slower but redundant
+// parallel filesystem so checkpoint data survives cascading failures
+// that take out both a process and its partner failure domain.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/storage_api.h"
+
+namespace nvmecr::nvmecr_rt {
+
+class MultiLevelPolicy {
+ public:
+  /// `interval` = N means checkpoint indexes 0, N, 2N, ... (1-in-N, the
+  /// paper uses one in ten) go to the PFS level — so the newest
+  /// checkpoint, the one restart reads, normally lives on the fast tier.
+  explicit MultiLevelPolicy(uint32_t interval) : interval_(interval) {}
+
+  bool is_pfs_checkpoint(uint32_t checkpoint_index) const {
+    return interval_ > 0 && checkpoint_index % interval_ == 0;
+  }
+  uint32_t interval() const { return interval_; }
+
+ private:
+  uint32_t interval_;
+};
+
+/// Routes checkpoint IO between the two tiers per the policy. Both
+/// clients belong to the same rank; the caller owns them.
+class MultiLevelRouter {
+ public:
+  MultiLevelRouter(baselines::StorageClient& fast,
+                   baselines::StorageClient& pfs, MultiLevelPolicy policy)
+      : fast_(fast), pfs_(pfs), policy_(policy) {}
+
+  baselines::StorageClient& level_for(uint32_t checkpoint_index) {
+    return policy_.is_pfs_checkpoint(checkpoint_index) ? pfs_ : fast_;
+  }
+  const MultiLevelPolicy& policy() const { return policy_; }
+
+  /// Recovery always prefers the fast tier (it holds the newest
+  /// checkpoint unless the failure destroyed it).
+  baselines::StorageClient& recovery_level(bool fast_tier_lost) {
+    return fast_tier_lost ? pfs_ : fast_;
+  }
+
+ private:
+  baselines::StorageClient& fast_;
+  baselines::StorageClient& pfs_;
+  MultiLevelPolicy policy_;
+};
+
+}  // namespace nvmecr::nvmecr_rt

@@ -1,0 +1,158 @@
+#include "nvmecr/n1_adapter.h"
+
+#include "common/crc.h"
+#include "microfs/codec.h"
+
+namespace nvmecr::nvmecr_rt {
+
+namespace {
+constexpr uint32_t kIndexMagic = 0x31784e49;  // "INx1"
+std::string seg_name(const std::string& name) { return name + ".seg"; }
+std::string idx_name(const std::string& name) { return name + ".idx"; }
+}  // namespace
+
+void encode_n1_index(const std::vector<N1Extent>& index,
+                     std::vector<std::byte>& out) {
+  microfs::Encoder enc(out);
+  enc.u32(kIndexMagic);
+  enc.u64(index.size());
+  for (const N1Extent& e : index) {
+    enc.u64(e.logical_off);
+    enc.u64(e.length);
+    enc.u64(e.segment_off);
+  }
+  const size_t body = out.size();
+  enc.u64(crc64(out.data(), body));
+}
+
+StatusOr<std::vector<N1Extent>> decode_n1_index(
+    std::span<const std::byte> in) {
+  microfs::Decoder dec(in);
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  NVMECR_RETURN_IF_ERROR(dec.u32(magic));
+  if (magic != kIndexMagic) return CorruptionError("bad N-1 index magic");
+  NVMECR_RETURN_IF_ERROR(dec.u64(count));
+  if (count > dec.remaining() / 24) {
+    return CorruptionError("N-1 index count exceeds buffer");
+  }
+  std::vector<N1Extent> index(count);
+  for (auto& e : index) {
+    NVMECR_RETURN_IF_ERROR(dec.u64(e.logical_off));
+    NVMECR_RETURN_IF_ERROR(dec.u64(e.length));
+    NVMECR_RETURN_IF_ERROR(dec.u64(e.segment_off));
+  }
+  const size_t body = dec.consumed();
+  uint64_t stored = 0;
+  NVMECR_RETURN_IF_ERROR(dec.u64(stored));
+  if (stored != crc64(in.data(), body)) {
+    return CorruptionError("N-1 index crc mismatch");
+  }
+  return index;
+}
+
+sim::Task<StatusOr<std::unique_ptr<N1Writer>>> N1Writer::create(
+    microfs::MicroFs& fs, const std::string& name) {
+  using Result = StatusOr<std::unique_ptr<N1Writer>>;
+  auto fd = co_await fs.creat(seg_name(name));
+  if (!fd.ok()) co_return Result(fd.status());
+  co_return Result(std::unique_ptr<N1Writer>(new N1Writer(fs, name, *fd)));
+}
+
+sim::Task<Status> N1Writer::write_at(uint64_t logical_off, uint64_t len) {
+  if (closed_) co_return InvalidArgumentError("write after close");
+  NVMECR_CO_RETURN_IF_ERROR(co_await fs_.write_tagged(seg_fd_, len));
+  // Coalesce with the previous extent when both the logical range and
+  // the segment are contiguous (the common strided-loop case writes each
+  // stride in one or more sequential pieces).
+  if (!index_.empty()) {
+    N1Extent& last = index_.back();
+    if (last.logical_off + last.length == logical_off &&
+        last.segment_off + last.length == segment_bytes_) {
+      last.length += len;
+      segment_bytes_ += len;
+      co_return OkStatus();
+    }
+  }
+  index_.push_back(N1Extent{logical_off, len, segment_bytes_});
+  segment_bytes_ += len;
+  co_return OkStatus();
+}
+
+sim::Task<Status> N1Writer::close() {
+  if (closed_) co_return OkStatus();
+  NVMECR_CO_RETURN_IF_ERROR(co_await fs_.fsync(seg_fd_));
+  NVMECR_CO_RETURN_IF_ERROR(co_await fs_.close(seg_fd_));
+  // Persist the index; its existence marks the share complete.
+  std::vector<std::byte> buf;
+  encode_n1_index(index_, buf);
+  auto fd = co_await fs_.creat(idx_name(name_));
+  if (!fd.ok()) co_return fd.status();
+  NVMECR_CO_RETURN_IF_ERROR((co_await fs_.write(*fd, buf)).status());
+  NVMECR_CO_RETURN_IF_ERROR(co_await fs_.fsync(*fd));
+  NVMECR_CO_RETURN_IF_ERROR(co_await fs_.close(*fd));
+  closed_ = true;
+  co_return OkStatus();
+}
+
+sim::Task<StatusOr<std::unique_ptr<N1Reader>>> N1Reader::open(
+    microfs::MicroFs& fs, const std::string& name) {
+  using Result = StatusOr<std::unique_ptr<N1Reader>>;
+  auto st = fs.stat(idx_name(name));
+  if (!st.ok()) co_return Result(st.status());  // no index: incomplete
+  auto fd = co_await fs.open(idx_name(name), microfs::OpenFlags::ReadOnly());
+  if (!fd.ok()) co_return Result(fd.status());
+  std::vector<std::byte> buf(st->size);
+  auto got = co_await fs.read(*fd, buf);
+  if (!got.ok()) co_return Result(got.status());
+  NVMECR_CO_RETURN_IF_ERROR(co_await fs.close(*fd));
+  auto index = decode_n1_index(buf);
+  if (!index.ok()) co_return Result(index.status());
+  std::unique_ptr<N1Reader> reader(new N1Reader(fs, name));
+  reader->index_ = std::move(*index);
+  co_return Result(std::move(reader));
+}
+
+uint64_t N1Reader::covered_bytes() const {
+  uint64_t total = 0;
+  for (const N1Extent& e : index_) total += e.length;
+  return total;
+}
+
+sim::Task<Status> N1Reader::read_at(uint64_t logical_off, uint64_t len) {
+  // Map the logical range through this share's extents; every byte must
+  // be covered (restart uses the writer's decomposition).
+  auto fd = co_await fs_.open(seg_name(name_), microfs::OpenFlags::ReadOnly());
+  if (!fd.ok()) co_return fd.status();
+  uint64_t pos = logical_off;
+  const uint64_t end = logical_off + len;
+  Status result = OkStatus();
+  while (pos < end) {
+    const N1Extent* hit = nullptr;
+    for (const N1Extent& e : index_) {
+      if (pos >= e.logical_off && pos < e.logical_off + e.length) {
+        hit = &e;
+        break;
+      }
+    }
+    if (hit == nullptr) {
+      result = NotFoundError("logical range not covered by this share");
+      break;
+    }
+    const uint64_t in_extent =
+        std::min(end, hit->logical_off + hit->length) - pos;
+    // Position the segment cursor at the extent's mapped offset.
+    result = fs_.seek(*fd, hit->segment_off + (pos - hit->logical_off));
+    if (!result.ok()) break;
+    Status s = co_await fs_.read_tagged(*fd, in_extent);
+    if (!s.ok()) {
+      result = s;
+      break;
+    }
+    pos += in_extent;
+  }
+  Status c = co_await fs_.close(*fd);
+  co_return result.ok() ? c : result;
+}
+
+}  // namespace nvmecr::nvmecr_rt

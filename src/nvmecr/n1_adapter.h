@@ -1,0 +1,97 @@
+// N-1 checkpoint pattern support (§III-E: "two patterns are prevalent —
+// N-1 and N-N ... the designs proposed in this paper are specifically
+// targeted towards the N-N pattern").
+//
+// NVMe-CR's private namespaces have no shared files, so a logical N-1
+// file (every process writing strided regions of ONE checkpoint) is
+// translated PLFS-style [Bent et al., SC'09 — cited as [24]]: each
+// process appends its strides to a private *segment* file and records
+// (logical offset, length, segment offset) triples in a private *index*
+// file. The translation needs no cross-process coordination — exactly
+// the property that makes N-N fast here — and restart with the same
+// decomposition reads back through the rank-local index.
+//
+// Crash semantics: the index is persisted on close(); a logical file
+// whose writer crashed mid-stream has no index and open() reports it
+// missing (an incomplete N-1 checkpoint is not recoverable, matching
+// application-level C/R practice of validating the newest complete set).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "microfs/microfs.h"
+
+namespace nvmecr::nvmecr_rt {
+
+struct N1Extent {
+  uint64_t logical_off = 0;
+  uint64_t length = 0;
+  uint64_t segment_off = 0;
+};
+
+/// Writer for one process's share of a logical N-1 file.
+class N1Writer {
+ public:
+  /// Creates `<name>.seg` (payload) in `fs`; the index is buffered in
+  /// DRAM until close() persists `<name>.idx`.
+  static sim::Task<StatusOr<std::unique_ptr<N1Writer>>> create(
+      microfs::MicroFs& fs, const std::string& name);
+
+  /// Writes `len` payload bytes of the logical file at `logical_off`.
+  /// Appends to the segment; coalesces index entries for contiguous
+  /// strides (sequential logical AND segment growth).
+  sim::Task<Status> write_at(uint64_t logical_off, uint64_t len);
+
+  /// Persists the index and closes both files; the logical share is
+  /// complete (and recoverable) only after this returns OK.
+  sim::Task<Status> close();
+
+  size_t index_entries() const { return index_.size(); }
+  uint64_t payload_bytes() const { return segment_bytes_; }
+
+ private:
+  N1Writer(microfs::MicroFs& fs, std::string name, int seg_fd)
+      : fs_(fs), name_(std::move(name)), seg_fd_(seg_fd) {}
+
+  microfs::MicroFs& fs_;
+  std::string name_;
+  int seg_fd_;
+  uint64_t segment_bytes_ = 0;
+  std::vector<N1Extent> index_;
+  bool closed_ = false;
+};
+
+/// Reader for one process's share of a logical N-1 file.
+class N1Reader {
+ public:
+  /// Loads `<name>.idx`; fails with kNotFound if the share was never
+  /// completed (no index ⇒ incomplete checkpoint).
+  static sim::Task<StatusOr<std::unique_ptr<N1Reader>>> open(
+      microfs::MicroFs& fs, const std::string& name);
+
+  /// Reads (and verifies) `len` logical bytes at `logical_off`. The
+  /// range must be covered by this process's extents.
+  sim::Task<Status> read_at(uint64_t logical_off, uint64_t len);
+
+  const std::vector<N1Extent>& index() const { return index_; }
+  /// Total logical bytes this share covers.
+  uint64_t covered_bytes() const;
+
+ private:
+  N1Reader(microfs::MicroFs& fs, std::string name)
+      : fs_(fs), name_(std::move(name)) {}
+
+  microfs::MicroFs& fs_;
+  std::string name_;
+  std::vector<N1Extent> index_;
+};
+
+/// Serialized index codec (exposed for tests).
+void encode_n1_index(const std::vector<N1Extent>& index,
+                     std::vector<std::byte>& out);
+StatusOr<std::vector<N1Extent>> decode_n1_index(
+    std::span<const std::byte> in);
+
+}  // namespace nvmecr::nvmecr_rt

@@ -1,0 +1,100 @@
+#include "nvmecr/posix_shim.h"
+
+#include <algorithm>
+
+namespace nvmecr::nvmecr_rt {
+
+ShimErrno to_errno(const Status& status) {
+  switch (status.code()) {
+    case ErrorCode::kOk: return ShimErrno::kOk;
+    case ErrorCode::kNotFound: return ShimErrno::kENOENT;
+    case ErrorCode::kExists: return ShimErrno::kEEXIST;
+    case ErrorCode::kPermission: return ShimErrno::kEACCES;
+    case ErrorCode::kIsDirectory: return ShimErrno::kEISDIR;
+    case ErrorCode::kNoSpace: return ShimErrno::kENOSPC;
+    case ErrorCode::kBadFd: return ShimErrno::kEBADF;
+    case ErrorCode::kInvalidArgument: return ShimErrno::kEINVAL;
+    default: return ShimErrno::kEIO;
+  }
+}
+
+const std::vector<std::string>& PosixShim::intercepted_symbols() {
+  static const std::vector<std::string> kSymbols = {
+      "open",  "open64", "creat", "close",  "read",   "write",
+      "pread", "pwrite", "fsync", "fdatasync", "unlink", "mkdir",
+      "rmdir", "lseek",  "stat",  "fstat",  "access", "MPI_Init",
+      "MPI_Finalize",
+  };
+  return kSymbols;
+}
+
+bool PosixShim::intercepts(const std::string& symbol) {
+  const auto& symbols = intercepted_symbols();
+  return std::find(symbols.begin(), symbols.end(), symbol) != symbols.end();
+}
+
+sim::Task<Status> PosixShim::mpi_init(
+    std::function<
+        sim::Task<StatusOr<std::unique_ptr<baselines::StorageClient>>>()>
+        connect) {
+  if (client_ != nullptr) co_return InternalError("double MPI_Init");
+  auto client = co_await connect();
+  if (!client.ok()) co_return client.status();
+  client_ = std::move(client).value();
+  co_return OkStatus();
+}
+
+sim::Task<Status> PosixShim::mpi_finalize() {
+  if (client_ == nullptr) co_return InternalError("MPI_Finalize before Init");
+  client_.reset();  // the runtime's lifetime mirrors the job's (§I)
+  co_return OkStatus();
+}
+
+sim::Task<int> PosixShim::open(const std::string& path, bool create) {
+  if (client_ == nullptr) co_return -static_cast<int>(ShimErrno::kEIO);
+  // Plain if/else rather than `cond ? co_await a : co_await b` — GCC 12
+  // double-destroys the result temporary of co_await inside the
+  // conditional operator (see DESIGN.md's toolchain notes).
+  if (create) {
+    auto fd = co_await client_->create(path);
+    if (!fd.ok()) co_return -static_cast<int>(to_errno(fd.status()));
+    co_return *fd;
+  }
+  auto fd = co_await client_->open_read(path);
+  if (!fd.ok()) co_return -static_cast<int>(to_errno(fd.status()));
+  co_return *fd;
+}
+
+sim::Task<int64_t> PosixShim::write(int fd, uint64_t len) {
+  if (client_ == nullptr) co_return -static_cast<int>(ShimErrno::kEIO);
+  Status s = co_await client_->write(fd, len);
+  if (!s.ok()) co_return -static_cast<int64_t>(to_errno(s));
+  co_return static_cast<int64_t>(len);
+}
+
+sim::Task<int64_t> PosixShim::read(int fd, uint64_t len) {
+  if (client_ == nullptr) co_return -static_cast<int>(ShimErrno::kEIO);
+  Status s = co_await client_->read(fd, len);
+  if (!s.ok()) co_return -static_cast<int64_t>(to_errno(s));
+  co_return static_cast<int64_t>(len);
+}
+
+sim::Task<int> PosixShim::fsync(int fd) {
+  if (client_ == nullptr) co_return -static_cast<int>(ShimErrno::kEIO);
+  Status s = co_await client_->fsync(fd);
+  co_return s.ok() ? 0 : -static_cast<int>(to_errno(s));
+}
+
+sim::Task<int> PosixShim::close(int fd) {
+  if (client_ == nullptr) co_return -static_cast<int>(ShimErrno::kEIO);
+  Status s = co_await client_->close(fd);
+  co_return s.ok() ? 0 : -static_cast<int>(to_errno(s));
+}
+
+sim::Task<int> PosixShim::unlink(const std::string& path) {
+  if (client_ == nullptr) co_return -static_cast<int>(ShimErrno::kEIO);
+  Status s = co_await client_->unlink(path);
+  co_return s.ok() ? 0 : -static_cast<int>(to_errno(s));
+}
+
+}  // namespace nvmecr::nvmecr_rt

@@ -1,0 +1,73 @@
+// Application obliviousness (§III-C): POSIX call interception.
+//
+// On the real system this is GNU ld symbol interposition: the runtime
+// exports open/write/close/... and the dynamic linker binds unmodified
+// application binaries to them; MPI_Init/MPI_Finalize wrappers bracket
+// the runtime's lifetime. Inside the simulation there is no dynamic
+// linker, so PosixShim reproduces the *mechanism* one level up: a
+// dispatch table keyed by symbol name whose entries forward to the
+// NVMe-CR client, returning errno-style results. The lifecycle hooks
+// (mpi_init establishing the client, mpi_finalize tearing it down) are
+// the same code the interposed wrappers would run.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baselines/storage_api.h"
+
+namespace nvmecr::nvmecr_rt {
+
+/// errno subset the shim reports (POSIX ABI surface).
+enum class ShimErrno : int {
+  kOk = 0,
+  kENOENT = 2,
+  kEACCES = 13,
+  kEEXIST = 17,
+  kEISDIR = 21,
+  kEINVAL = 22,
+  kENOSPC = 28,
+  kEBADF = 9,
+  kEIO = 5,
+};
+
+ShimErrno to_errno(const Status& status);
+
+class PosixShim {
+ public:
+  /// The set of symbols the runtime interposes (§III-C lists "all the
+  /// standard POSIX IO library calls" plus the MPI lifecycle pair).
+  static const std::vector<std::string>& intercepted_symbols();
+
+  /// True when `symbol` would be redirected into the runtime.
+  static bool intercepts(const std::string& symbol);
+
+  /// MPI_Init wrapper: runs the runtime's init (the factory performs the
+  /// §III-C coordination) and installs the client.
+  sim::Task<Status> mpi_init(
+      std::function<sim::Task<
+          StatusOr<std::unique_ptr<baselines::StorageClient>>>()>
+          connect);
+
+  /// MPI_Finalize wrapper: tears the runtime down with the job.
+  sim::Task<Status> mpi_finalize();
+
+  bool initialized() const { return client_ != nullptr; }
+
+  // Intercepted calls: negative return = -errno, like raw syscalls.
+  sim::Task<int> open(const std::string& path, bool create);
+  sim::Task<int64_t> write(int fd, uint64_t len);
+  sim::Task<int64_t> read(int fd, uint64_t len);
+  sim::Task<int> fsync(int fd);
+  sim::Task<int> close(int fd);
+  sim::Task<int> unlink(const std::string& path);
+
+  baselines::StorageClient* client() { return client_.get(); }
+
+ private:
+  std::unique_ptr<baselines::StorageClient> client_;
+};
+
+}  // namespace nvmecr::nvmecr_rt

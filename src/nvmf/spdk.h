@@ -1,0 +1,69 @@
+// SPDK-style local userspace NVMe driver (the "SPDK" series of Figure
+// 7(c)): unprivileged direct device access via vfio-like mapping. In the
+// model this is a thin ownership wrapper — a dedicated hardware queue,
+// run-to-completion polling (no interrupt cost), and a sub-microsecond
+// submit cost per command.
+#pragma once
+
+#include <memory>
+
+#include "hw/nvme_ssd.h"
+#include "nvmf/overhead_device.h"
+
+namespace nvmecr::nvmf {
+
+/// Owns a hardware queue on a local SSD and exposes it as a BlockDevice
+/// with SPDK-calibre per-command software cost.
+class SpdkLocalDevice final : public hw::BlockDevice {
+ public:
+  static StatusOr<std::unique_ptr<SpdkLocalDevice>> open(
+      hw::NvmeSsd& ssd, uint32_t nsid, SimDuration per_cmd_cpu = 300 /*ns*/) {
+    auto queue = ssd.alloc_queue();
+    if (!queue.ok()) return queue.status();
+    return std::unique_ptr<SpdkLocalDevice>(
+        new SpdkLocalDevice(ssd, nsid, *queue, per_cmd_cpu));
+  }
+
+  ~SpdkLocalDevice() override { ssd_.free_queue(queue_id_); }
+
+  uint64_t capacity() const override { return wrapped_->capacity(); }
+  uint32_t hw_block_size() const override { return wrapped_->hw_block_size(); }
+  uint64_t tag_origin() const override { return wrapped_->tag_origin(); }
+
+  sim::Task<Status> write(uint64_t offset,
+                          std::span<const std::byte> data) override {
+    co_return co_await wrapped_->write(offset, data);
+  }
+  sim::Task<Status> read(uint64_t offset, std::span<std::byte> out) override {
+    co_return co_await wrapped_->read(offset, out);
+  }
+  sim::Task<Status> write_tagged(uint64_t offset, uint64_t len,
+                                 uint64_t seed) override {
+    co_return co_await wrapped_->write_tagged(offset, len, seed);
+  }
+  sim::Task<StatusOr<uint64_t>> read_tagged(uint64_t offset,
+                                            uint64_t len) override {
+    co_return co_await wrapped_->read_tagged(offset, len);
+  }
+  sim::Task<Status> flush() override { co_return co_await wrapped_->flush(); }
+
+  uint32_t queue_id() const { return queue_id_; }
+
+ private:
+  SpdkLocalDevice(hw::NvmeSsd& ssd, uint32_t nsid, uint32_t queue_id,
+                  SimDuration per_cmd_cpu)
+      : ssd_(ssd),
+        queue_id_(queue_id),
+        raw_(ssd.open_queue(nsid, queue_id)),
+        wrapped_(std::make_unique<OverheadDevice>(
+            ssd.engine(), *raw_,
+            OverheadCosts{.per_op_submit = per_cmd_cpu,
+                          .per_op_complete = 0})) {}
+
+  hw::NvmeSsd& ssd_;
+  uint32_t queue_id_;
+  std::unique_ptr<hw::BlockDevice> raw_;
+  std::unique_ptr<OverheadDevice> wrapped_;
+};
+
+}  // namespace nvmecr::nvmf

@@ -1,0 +1,160 @@
+#include "nvmf/target.h"
+
+namespace nvmecr::nvmf {
+
+namespace {
+
+/// Initiator-side view of a remote namespace through one qpair.
+class RemoteDevice final : public hw::BlockDevice {
+ public:
+  RemoteDevice(NvmfTarget& target, fabric::NodeId client,
+               std::unique_ptr<hw::BlockDevice> ssd_view, uint32_t queue_id)
+      : target_(target),
+        client_(client),
+        ssd_view_(std::move(ssd_view)),
+        queue_id_(queue_id) {}
+
+  ~RemoteDevice() override { target_.release_queue(queue_id_); }
+
+  uint64_t capacity() const override { return ssd_view_->capacity(); }
+  uint32_t hw_block_size() const override {
+    return ssd_view_->hw_block_size();
+  }
+  uint64_t tag_origin() const override { return ssd_view_->tag_origin(); }
+
+  sim::Task<Status> write(uint64_t offset,
+                          std::span<const std::byte> data) override {
+    co_await request(target_.params().command_bytes + data.size());
+    Status s = co_await ssd_view_->write(offset, data);
+    co_await response(target_.params().completion_bytes);
+    co_return s;
+  }
+
+  sim::Task<Status> read(uint64_t offset, std::span<std::byte> out) override {
+    co_await request(target_.params().command_bytes);
+    Status s = co_await ssd_view_->read(offset, out);
+    co_await response(target_.params().completion_bytes + out.size());
+    co_return s;
+  }
+
+  sim::Task<Status> write_tagged(uint64_t offset, uint64_t len,
+                                 uint64_t seed) override {
+    co_await request(target_.params().command_bytes + len);
+    Status s = co_await ssd_view_->write_tagged(offset, len, seed);
+    co_await response(target_.params().completion_bytes);
+    co_return s;
+  }
+
+  sim::Task<StatusOr<uint64_t>> read_tagged(uint64_t offset,
+                                            uint64_t len) override {
+    co_await request(target_.params().command_bytes);
+    auto r = co_await ssd_view_->read_tagged(offset, len);
+    co_await response(target_.params().completion_bytes + len);
+    co_return r;
+  }
+
+  sim::Task<Status> flush() override {
+    co_await request(target_.params().command_bytes);
+    Status s = co_await ssd_view_->flush();
+    co_await response(target_.params().completion_bytes);
+    co_return s;
+  }
+
+  sim::Task<Status> write_tagged_batch(uint64_t offset, uint64_t len,
+                                       uint64_t seed,
+                                       uint32_t subcmds) override {
+    co_await request(target_.params().command_bytes * subcmds + len, subcmds);
+    Status s = co_await ssd_view_->write_tagged_batch(offset, len, seed,
+                                                      subcmds);
+    co_await response(target_.params().completion_bytes * subcmds);
+    co_return s;
+  }
+
+  sim::Task<StatusOr<uint64_t>> read_tagged_batch(uint64_t offset,
+                                                  uint64_t len,
+                                                  uint32_t subcmds) override {
+    co_await request(target_.params().command_bytes * subcmds, subcmds);
+    auto r = co_await ssd_view_->read_tagged_batch(offset, len, subcmds);
+    co_await response(target_.params().completion_bytes * subcmds + len);
+    co_return r;
+  }
+
+ private:
+  /// Initiator CPU, capsule (+ inline data) to the target, poll group;
+  /// `count` commands' worth for batched submissions.
+  sim::Task<void> request(uint64_t wire_bytes, uint32_t count = 1) {
+    sim::Engine& eng = target_.engine();
+    co_await eng.delay(target_.params().initiator_per_cmd * count);
+    co_await target_.network().transfer(client_, target_.node(), wire_bytes);
+    const SimTime cpu_done = target_.reserve_poll_group(eng.now(), count);
+    co_await eng.sleep_until(cpu_done);
+  }
+
+  /// Completion (+ read data) back to the initiator.
+  sim::Task<void> response(uint64_t wire_bytes) {
+    co_await target_.network().transfer(target_.node(), client_, wire_bytes);
+  }
+
+  NvmfTarget& target_;
+  fabric::NodeId client_;
+  std::unique_ptr<hw::BlockDevice> ssd_view_;
+  uint32_t queue_id_;
+};
+
+}  // namespace
+
+NvmfTarget::NvmfTarget(sim::Engine& engine, fabric::Network& network,
+                       fabric::NodeId node, hw::NvmeSsd& ssd,
+                       NvmfParams params)
+    : engine_(engine),
+      network_(network),
+      node_(node),
+      ssd_(ssd),
+      params_(params),
+      poll_groups_(engine,
+                   params.target_per_cmd > 0
+                       ? params.target_cores * kSecond /
+                             static_cast<uint64_t>(params.target_per_cmd)
+                       : 0) {}
+
+SimTime NvmfTarget::reserve_poll_group(SimTime arrival, uint32_t count) {
+  commands_processed_ += count;
+  return poll_groups_.reserve_after(arrival, count);
+}
+
+StatusOr<uint32_t> NvmfTarget::acquire_queue() {
+  auto queue = ssd_.alloc_queue();
+  if (queue.ok()) {
+    queue_refs_.emplace_back(*queue, 1);
+    return *queue;
+  }
+  if (queue_refs_.empty()) return queue.status();
+  // Budget exhausted: share an existing queue round-robin.
+  auto& [qid, refs] = queue_refs_[next_shared_ % queue_refs_.size()];
+  ++next_shared_;
+  ++refs;
+  return qid;
+}
+
+void NvmfTarget::release_queue(uint32_t queue_id) {
+  for (auto it = queue_refs_.begin(); it != queue_refs_.end(); ++it) {
+    if (it->first == queue_id) {
+      if (--it->second == 0) {
+        ssd_.free_queue(queue_id);
+        queue_refs_.erase(it);
+      }
+      return;
+    }
+  }
+}
+
+StatusOr<std::unique_ptr<hw::BlockDevice>> NvmfTarget::connect(
+    fabric::NodeId client_node, uint32_t nsid) {
+  auto queue = acquire_queue();
+  if (!queue.ok()) return queue.status();
+  auto view = ssd_.open_queue(nsid, *queue);
+  return std::unique_ptr<hw::BlockDevice>(
+      new RemoteDevice(*this, client_node, std::move(view), *queue));
+}
+
+}  // namespace nvmecr::nvmf

@@ -1,0 +1,90 @@
+// NVMe-over-Fabrics target and initiator (SPDK-style, Figure 4).
+//
+// An NvmfTarget is the userspace server daemon on a storage node: it
+// accepts qpair connections and forwards commands to its local SSD
+// through a dedicated hardware queue per connection. Its poll groups are
+// a shared CPU pool, so command processing scales with target cores but
+// saturates under extreme metadata storms (it is multi-tenant, unlike
+// the single-threaded metadata services of the comparator systems).
+//
+// connect() returns the initiator-side BlockDevice: every operation pays
+//   initiator CPU -> command capsule over RDMA -> target poll group ->
+//   local SSD command -> completion back over RDMA.
+// For writes the data travels with the command (RDMA write); for reads
+// it returns with the completion (RDMA read semantics are folded into
+// the response transfer).
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "fabric/network.h"
+#include "hw/block_device.h"
+#include "hw/nvme_ssd.h"
+#include "simcore/resource.h"
+
+namespace nvmecr::nvmf {
+
+using namespace nvmecr::literals;
+
+struct NvmfParams {
+  /// NVMe command capsule size on the wire.
+  uint64_t command_bytes = 64;
+  /// Completion queue entry size on the wire.
+  uint64_t completion_bytes = 16;
+  /// Initiator-side userspace CPU per command (SPDK submit + poll).
+  SimDuration initiator_per_cmd = 500;  // ns
+  /// Target-side poll-group CPU per command.
+  SimDuration target_per_cmd = 2_us;
+  /// Poll-group cores on the target (multi-tenant scaling).
+  uint32_t target_cores = 4;
+};
+
+class NvmfTarget {
+ public:
+  NvmfTarget(sim::Engine& engine, fabric::Network& network,
+             fabric::NodeId node, hw::NvmeSsd& ssd, NvmfParams params = {});
+
+  fabric::NodeId node() const { return node_; }
+  hw::NvmeSsd& ssd() { return ssd_; }
+  sim::Engine& engine() { return engine_; }
+  fabric::Network& network() { return network_; }
+  const NvmfParams& params() const { return params_; }
+
+  /// Establishes a qpair from `client_node` to namespace `nsid`:
+  /// allocates a dedicated hardware queue on the SSD (Principle 3) and
+  /// returns the remote BlockDevice the client IOs through. Fails with
+  /// kUnavailable when the SSD's queue budget is exhausted.
+  StatusOr<std::unique_ptr<hw::BlockDevice>> connect(fabric::NodeId client_node,
+                                                     uint32_t nsid);
+
+  /// Books `count` commands on the poll-group CPU pool starting no
+  /// earlier than `arrival`; returns when their processing would finish.
+  SimTime reserve_poll_group(SimTime arrival, uint32_t count = 1);
+
+  uint64_t commands_processed() const { return commands_processed_; }
+
+  /// Qpair-to-hardware-queue mapping: each connection gets a dedicated
+  /// hardware queue while the controller has them (Principle 3); beyond
+  /// the device's queue budget, connections share queues round-robin —
+  /// what SPDK's target does when initiator qpairs outnumber HW queues.
+  StatusOr<uint32_t> acquire_queue();
+  void release_queue(uint32_t queue_id);
+
+ private:
+  sim::Engine& engine_;
+  fabric::Network& network_;
+  fabric::NodeId node_;
+  hw::NvmeSsd& ssd_;
+  NvmfParams params_;
+  /// Poll groups as an op-granular pool: one "byte" == one command, rate
+  /// == cores / target_per_cmd commands per second.
+  sim::BandwidthResource poll_groups_;
+  uint64_t commands_processed_ = 0;
+  /// (queue id, connections using it); shared once the budget runs out.
+  std::vector<std::pair<uint32_t, uint32_t>> queue_refs_;
+  uint32_t next_shared_ = 0;
+};
+
+}  // namespace nvmecr::nvmf

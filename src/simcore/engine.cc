@@ -1,0 +1,56 @@
+#include "simcore/engine.h"
+
+namespace nvmecr::sim {
+
+namespace {
+
+/// Wrapper that owns a detached root task's frame and decrements the
+/// engine's live-root counter on completion. A non-capturing lambda
+/// coroutine would also work; a named function is clearer.
+Task<void> root_wrapper(Task<void> inner, int* live_roots) {
+  co_await std::move(inner);
+  --*live_roots;
+}
+
+}  // namespace
+
+void Engine::spawn(Task<void> task) {
+  ++live_roots_;
+  Task<void> wrapper = root_wrapper(std::move(task), &live_roots_);
+  // Transfer frame ownership to the engine: the run loop resumes the
+  // wrapper; on completion it parks at final_suspend (done() == true) and
+  // is destroyed by reap_finished_roots().
+  std::coroutine_handle<> handle = wrapper.release();
+  pending_destroy_.push_back(handle);
+  schedule_now(handle);
+}
+
+SimTime Engine::run() { return run_until(INT64_MAX); }
+
+SimTime Engine::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Item item = queue_.top();
+    queue_.pop();
+    now_ = item.time;
+    if (!item.handle.done()) item.handle.resume();
+  }
+  if (queue_.empty()) reap_finished_roots();
+  return now_;
+}
+
+void Engine::reap_finished_roots() {
+  for (auto it = pending_destroy_.begin(); it != pending_destroy_.end();) {
+    if (it->done()) {
+      it->destroy();
+      it = pending_destroy_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Engine::~Engine() {
+  for (auto h : pending_destroy_) h.destroy();
+}
+
+}  // namespace nvmecr::sim

@@ -1,0 +1,129 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a priority queue of scheduled coroutine resumptions
+// keyed by (simulated time, insertion sequence). Simulated entities are
+// coroutines (sim::Task) that co_await timing awaitables:
+//
+//   co_await eng.delay(10 * kMicrosecond);   // charge CPU / device time
+//   co_await eng.sleep_until(t);
+//
+// Determinism: ties in time resume in insertion order; no wall-clock or
+// thread scheduling is involved anywhere.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "simcore/task.h"
+
+namespace nvmecr::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time (ns).
+  SimTime now() const { return now_; }
+
+  /// Schedules `h` to resume at absolute time `t` (clamped to now).
+  void schedule_at(SimTime t, std::coroutine_handle<> h) {
+    if (t < now_) t = now_;
+    queue_.push(Item{t, seq_++, h});
+  }
+
+  /// Schedules `h` to resume at the current time, after already-queued
+  /// same-time items.
+  void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
+
+  /// Awaitable: suspend for `d` nanoseconds of simulated time.
+  auto delay(SimDuration d) { return SleepAwaiter{this, now_ + (d > 0 ? d : 0)}; }
+
+  /// Awaitable: suspend until absolute simulated time `t`.
+  auto sleep_until(SimTime t) { return SleepAwaiter{this, t}; }
+
+  /// Awaitable: yield to other same-time events, then continue.
+  auto yield() { return SleepAwaiter{this, now_}; }
+
+  /// Starts a detached root task. The engine keeps the coroutine alive
+  /// until it finishes; the task begins at the current simulated time
+  /// once the run loop reaches it.
+  void spawn(Task<void> task);
+
+  /// Runs until no scheduled events remain. Returns the final time.
+  SimTime run();
+
+  /// Runs until `deadline` (events at exactly `deadline` still fire).
+  SimTime run_until(SimTime deadline);
+
+  /// Spawns `task`, runs the engine to quiescence, and returns the task's
+  /// result. CHECK-fails if the task deadlocks (engine drained while the
+  /// task is still pending).
+  template <typename T>
+  T run_task(Task<T> task) {
+    std::optional<T> out;
+    spawn(capture_result(std::move(task), out));
+    run();
+    NVMECR_CHECK(out.has_value());
+    return std::move(*out);
+  }
+  void run_task(Task<void> task) {
+    bool done = false;
+    spawn(mark_done(std::move(task), done));
+    run();
+    NVMECR_CHECK(done);
+  }
+
+  /// Number of spawned root tasks that have not yet completed. Nonzero
+  /// after run() returns means a deadlock (task awaiting an event that
+  /// never fires).
+  int live_roots() const { return live_roots_; }
+
+ private:
+  struct Item {
+    SimTime time;
+    uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const Item& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  struct SleepAwaiter {
+    Engine* engine;
+    SimTime wake_at;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      engine->schedule_at(wake_at, h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  template <typename T>
+  static Task<void> capture_result(Task<T> task, std::optional<T>& out) {
+    out.emplace(co_await std::move(task));
+  }
+  static Task<void> mark_done(Task<void> task, bool& done) {
+    co_await std::move(task);
+    done = true;
+  }
+
+  /// Destroys frames of completed root tasks (they park at final_suspend
+  /// with no continuation).
+  void reap_finished_roots();
+
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue_;
+  std::vector<std::coroutine_handle<>> pending_destroy_;
+  SimTime now_ = 0;
+  uint64_t seq_ = 0;
+  int live_roots_ = 0;
+};
+
+}  // namespace nvmecr::sim

@@ -1,0 +1,86 @@
+// Rate-limited FIFO resources.
+//
+// BandwidthResource models a serial pipe (flash channel, NIC port, RAID
+// controller) with a fixed byte rate. Reservations are virtual-clock
+// based: each reservation starts at max(now, busy_until) and extends
+// busy_until. Because a reservation is pure arithmetic (no suspension
+// between read and update), concurrent coroutines compose exactly.
+//
+// transfer_fair() chunks large transfers so concurrent flows interleave
+// at chunk granularity, approximating the fair sharing a real full-duplex
+// link or SSD channel arbiter provides.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "simcore/engine.h"
+
+namespace nvmecr::sim {
+
+class BandwidthResource {
+ public:
+  /// `bytes_per_sec` == 0 means infinitely fast (instant resource).
+  BandwidthResource(Engine& engine, uint64_t bytes_per_sec)
+      : engine_(engine), rate_(bytes_per_sec) {}
+
+  uint64_t rate() const { return rate_; }
+  SimTime busy_until() const { return busy_until_; }
+
+  /// Books `bytes` of service and returns the completion time without
+  /// suspending. Callers that need to overlap several resources (e.g. an
+  /// SSD striping one command across channels) reserve on each and sleep
+  /// until the max.
+  SimTime reserve(uint64_t bytes) {
+    const SimTime start =
+        busy_until_ > engine_.now() ? busy_until_ : engine_.now();
+    busy_until_ = start + transfer_time(bytes, rate_);
+    return busy_until_;
+  }
+
+  /// Books `bytes` starting no earlier than `earliest` (pipeline coupling
+  /// between stages, e.g. NIC then flash).
+  SimTime reserve_after(SimTime earliest, uint64_t bytes) {
+    SimTime start = busy_until_ > engine_.now() ? busy_until_ : engine_.now();
+    if (earliest > start) start = earliest;
+    busy_until_ = start + transfer_time(bytes, rate_);
+    return busy_until_;
+  }
+
+  /// Transfers `bytes` as one unit: waits for the queue, then the
+  /// transfer time.
+  Task<void> transfer(uint64_t bytes) {
+    const SimTime finish = reserve(bytes);
+    co_await engine_.sleep_until(finish);
+  }
+
+  /// Transfers `bytes` in `chunk`-sized pieces, re-queueing between
+  /// pieces so concurrent flows share the resource round-robin.
+  Task<void> transfer_fair(uint64_t bytes, uint64_t chunk) {
+    if (chunk == 0 || chunk >= bytes) {
+      co_await transfer(bytes);
+      co_return;
+    }
+    uint64_t left = bytes;
+    while (left > 0) {
+      const uint64_t piece = left < chunk ? left : chunk;
+      const SimTime finish = reserve(piece);
+      co_await engine_.sleep_until(finish);
+      left -= piece;
+    }
+  }
+
+  /// Idle-aware utilization probe: bytes currently queued ahead,
+  /// expressed as time until the resource drains.
+  SimDuration backlog() const {
+    const SimTime now = engine_.now();
+    return busy_until_ > now ? busy_until_ - now : 0;
+  }
+
+ private:
+  Engine& engine_;
+  uint64_t rate_;
+  SimTime busy_until_ = 0;
+};
+
+}  // namespace nvmecr::sim

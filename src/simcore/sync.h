@@ -1,0 +1,110 @@
+// Synchronization primitives for simulated processes: counting semaphore
+// with FIFO wakeup, a mutex built on it, and a reusable cyclic barrier
+// (used by the mini-MPI collectives and device queue arbitration).
+#pragma once
+
+#include <coroutine>
+#include <deque>
+
+#include "simcore/engine.h"
+#include "simcore/event.h"
+
+namespace nvmecr::sim {
+
+/// Counting semaphore with strict FIFO grant order.
+class Semaphore {
+ public:
+  Semaphore(Engine& engine, int64_t initial)
+      : engine_(engine), count_(initial) {}
+
+  /// Awaitable acquire of one permit.
+  auto acquire() {
+    struct Awaiter {
+      Semaphore* sem;
+      bool await_ready() const noexcept {
+        if (sem->count_ > 0 && sem->waiters_.empty()) {
+          --sem->count_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        sem->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  /// Releases one permit; wakes the oldest waiter if any.
+  void release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      // The permit transfers directly to the waiter (count_ unchanged).
+      engine_.schedule_now(h);
+    } else {
+      ++count_;
+    }
+  }
+
+  int64_t available() const { return count_; }
+  size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Engine& engine_;
+  int64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// FIFO mutex. Scoped use:
+///   co_await mutex.lock();  ...  mutex.unlock();
+class FifoMutex {
+ public:
+  explicit FifoMutex(Engine& engine) : sem_(engine, 1) {}
+  auto lock() { return sem_.acquire(); }
+  void unlock() { sem_.release(); }
+  size_t waiting() const { return sem_.waiting(); }
+
+ private:
+  Semaphore sem_;
+};
+
+/// Cyclic barrier for `parties` coroutines; reusable across generations.
+class Barrier {
+ public:
+  Barrier(Engine& engine, int parties)
+      : engine_(engine), parties_(parties), event_(engine) {
+    NVMECR_CHECK(parties > 0);
+  }
+
+  /// All `parties` coroutines must co_await this; the last arrival
+  /// releases everyone and re-arms the barrier.
+  Task<void> arrive_and_wait() {
+    const uint64_t my_generation = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      event_.set();
+      event_.reset();
+      co_return;
+    }
+    // Wait for this generation to complete. The event is set+reset by the
+    // releaser, so waiters registered before release are woken; anyone
+    // arriving later belongs to the next generation.
+    while (generation_ == my_generation) {
+      co_await event_.wait();
+    }
+  }
+
+  int parties() const { return parties_; }
+
+ private:
+  Engine& engine_;
+  int parties_;
+  int arrived_ = 0;
+  uint64_t generation_ = 0;
+  Event event_;
+};
+
+}  // namespace nvmecr::sim

@@ -1,0 +1,139 @@
+// Lazy coroutine task type for the discrete-event simulation.
+//
+// A sim::Task<T> is a coroutine that suspends at creation and starts when
+// first awaited (or when spawned onto an Engine). Completion resumes the
+// awaiting coroutine via symmetric transfer, so deep call chains
+// (app -> runtime -> NVMf initiator -> device) cost no OS threads and no
+// stack growth.
+//
+// Tasks are single-owner move-only handles; destroying a Task that never
+// ran destroys the coroutine frame.
+#pragma once
+
+#include <coroutine>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+namespace nvmecr::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+/// Common promise functionality: stores the continuation to resume when
+/// the task completes.
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      auto cont = h.promise().continuation;
+      // Tasks awaited by nobody (fire-and-forget roots are wrapped by the
+      // engine, so this only happens for orphaned tasks) just stop here.
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept {
+    // The simulation is exception-free by design (Status-based errors);
+    // an escaped exception is a programming error.
+    std::fprintf(stderr, "sim::Task: unhandled exception\n");
+    std::abort();
+  }
+};
+
+template <typename T>
+struct Promise : PromiseBase {
+  std::optional<T> result;
+  Task<T> get_return_object() noexcept;
+  void return_value(T value) { result.emplace(std::move(value)); }
+};
+
+template <>
+struct Promise<void> : PromiseBase {
+  Task<void> get_return_object() noexcept;
+  void return_void() noexcept {}
+};
+
+}  // namespace detail
+
+/// A lazily-started coroutine returning T. Await it exactly once.
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::Promise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_ && handle_.done(); }
+
+  /// Awaiting a task starts it; the awaiter resumes when it completes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle handle;
+      bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;  // symmetric transfer: start the child now
+      }
+      T await_resume() {
+        if constexpr (!std::is_void_v<T>) {
+          return std::move(*handle.promise().result);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  /// Releases ownership of the coroutine handle (used by the engine's
+  /// detached-spawn wrapper, which manages the frame lifetime itself).
+  Handle release() { return std::exchange(handle_, {}); }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  Handle handle_;
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> Promise<T>::get_return_object() noexcept {
+  return Task<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+
+inline Task<void> Promise<void>::get_return_object() noexcept {
+  return Task<void>(std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+
+}  // namespace detail
+
+}  // namespace nvmecr::sim

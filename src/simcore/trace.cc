@@ -1,0 +1,73 @@
+#include "simcore/trace.h"
+
+#include <map>
+
+#include "simcore/engine.h"
+
+namespace nvmecr::sim {
+
+std::string TraceCollector::to_json() const {
+  // Stable tid assignment per track, in first-appearance order.
+  std::map<std::string, int> tids;
+  for (const Event& e : events_) {
+    tids.emplace(e.track, static_cast<int>(tids.size()) + 1);
+  }
+
+  std::string out = "[\n";
+  char line[512];
+  bool first = true;
+  for (const auto& [track, tid] : tids) {
+    std::snprintf(line, sizeof(line),
+                  "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                  first ? "" : ",\n", tid, track.c_str());
+    out += line;
+    first = false;
+  }
+  for (const Event& e : events_) {
+    const double ts_us = static_cast<double>(e.start) / 1e3;
+    if (e.end > e.start) {
+      const double dur_us = static_cast<double>(e.end - e.start) / 1e3;
+      std::snprintf(line, sizeof(line),
+                    "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                    "\"ts\":%.3f,\"dur\":%.3f}",
+                    first ? "" : ",\n", e.name.c_str(), tids.at(e.track),
+                    ts_us, dur_us);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "%s{\"name\":\"%s\",\"ph\":\"i\",\"pid\":1,\"tid\":%d,"
+                    "\"ts\":%.3f,\"s\":\"t\"}",
+                    first ? "" : ",\n", e.name.c_str(), tids.at(e.track),
+                    ts_us);
+    }
+    out += line;
+    first = false;
+  }
+  out += "\n]\n";
+  return out;
+}
+
+bool TraceCollector::write(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+TraceSpan::TraceSpan(TraceCollector* collector, std::string track,
+                     std::string name, const Engine& engine)
+    : collector_(collector),
+      track_(std::move(track)),
+      name_(std::move(name)),
+      engine_(engine),
+      start_(engine.now()) {}
+
+TraceSpan::~TraceSpan() {
+  if (collector_ != nullptr) {
+    collector_->add_span(track_, name_, start_, engine_.now());
+  }
+}
+
+}  // namespace nvmecr::sim

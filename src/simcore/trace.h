@@ -1,0 +1,72 @@
+// Simulation trace export (chrome://tracing / Perfetto JSON).
+//
+// Actors annotate spans around interesting operations; the collector
+// writes the standard Trace Event Format so a run can be inspected
+// visually (device occupancy, per-rank checkpoint phases, metadata
+// stalls). Tracing is opt-in and zero-cost when no collector is
+// installed.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace nvmecr::sim {
+
+class TraceCollector {
+ public:
+  /// Records a complete span (microsecond granularity in the output;
+  /// the engine's nanoseconds are preserved as fractional us).
+  void add_span(const std::string& track, const std::string& name,
+                SimTime start, SimTime end) {
+    events_.push_back(Event{track, name, start, end});
+  }
+
+  /// Instantaneous marker.
+  void add_instant(const std::string& track, const std::string& name,
+                   SimTime at) {
+    events_.push_back(Event{track, name, at, at});
+  }
+
+  size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Serializes to the Trace Event Format (JSON array of "X"/"i"
+  /// events; "pid" 1, one "tid" per distinct track in insertion order).
+  std::string to_json() const;
+
+  /// Writes to_json() to `path`; best effort.
+  bool write(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::string track;
+    std::string name;
+    SimTime start;
+    SimTime end;
+  };
+  std::vector<Event> events_;
+};
+
+/// RAII span helper:
+///   { TraceSpan span(collector, "rank3", "checkpoint", engine); ... }
+class TraceSpan {
+ public:
+  TraceSpan(TraceCollector* collector, std::string track, std::string name,
+            const class Engine& engine);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceCollector* collector_;
+  std::string track_;
+  std::string name_;
+  const Engine& engine_;
+  SimTime start_;
+};
+
+}  // namespace nvmecr::sim

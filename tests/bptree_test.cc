@@ -1,0 +1,167 @@
+// Unit + property tests for the DRAM B+Tree backing the microfs
+// namespace.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "microfs/bptree.h"
+
+namespace nvmecr::microfs {
+namespace {
+
+TEST(BpTreeTest, EmptyTree) {
+  BpTree<int, int> t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.find(1), nullptr);
+  EXPECT_FALSE(t.erase(1));
+}
+
+TEST(BpTreeTest, InsertFind) {
+  BpTree<int, std::string> t;
+  EXPECT_TRUE(t.insert(5, "five"));
+  EXPECT_TRUE(t.insert(3, "three"));
+  EXPECT_TRUE(t.insert(8, "eight"));
+  EXPECT_EQ(t.size(), 3u);
+  ASSERT_NE(t.find(5), nullptr);
+  EXPECT_EQ(*t.find(5), "five");
+  EXPECT_EQ(t.find(4), nullptr);
+}
+
+TEST(BpTreeTest, InsertOverwrites) {
+  BpTree<int, int> t;
+  EXPECT_TRUE(t.insert(1, 10));
+  EXPECT_FALSE(t.insert(1, 20));  // overwrite, not new
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(*t.find(1), 20);
+}
+
+TEST(BpTreeTest, SplitsGrowHeight) {
+  BpTree<int, int, 8> t;
+  for (int i = 0; i < 1000; ++i) t.insert(i, i * 2);
+  EXPECT_EQ(t.size(), 1000u);
+  EXPECT_GE(t.height(), 3);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_NE(t.find(i), nullptr) << i;
+    EXPECT_EQ(*t.find(i), i * 2);
+  }
+}
+
+TEST(BpTreeTest, ForEachIsOrdered) {
+  BpTree<int, int, 8> t;
+  // Insert in reverse to stress ordering.
+  for (int i = 499; i >= 0; --i) t.insert(i, i);
+  std::vector<int> keys;
+  t.for_each([&](const int& k, const int&) { keys.push_back(k); });
+  ASSERT_EQ(keys.size(), 500u);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(keys[static_cast<size_t>(i)], i);
+}
+
+TEST(BpTreeTest, ScanFromStartsAtLowerBound) {
+  BpTree<int, int, 8> t;
+  for (int i = 0; i < 100; i += 2) t.insert(i, i);  // evens
+  std::vector<int> seen;
+  t.scan_from(31, [&](const int& k, const int&) {
+    seen.push_back(k);
+    return seen.size() < 5;
+  });
+  EXPECT_EQ(seen, (std::vector<int>{32, 34, 36, 38, 40}));
+}
+
+TEST(BpTreeTest, EraseLeafSimple) {
+  BpTree<int, int> t;
+  t.insert(1, 1);
+  t.insert(2, 2);
+  EXPECT_TRUE(t.erase(1));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.find(1), nullptr);
+  EXPECT_NE(t.find(2), nullptr);
+  EXPECT_TRUE(t.erase(2));
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.height(), 0);
+}
+
+TEST(BpTreeTest, EraseWithRebalancing) {
+  BpTree<int, int, 8> t;
+  for (int i = 0; i < 300; ++i) t.insert(i, i);
+  // Erase everything in an order that forces borrows and merges.
+  for (int i = 0; i < 300; i += 2) EXPECT_TRUE(t.erase(i)) << i;
+  for (int i = 299; i >= 1; i -= 2) EXPECT_TRUE(t.erase(i)) << i;
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(BpTreeTest, StringKeysForPaths) {
+  BpTree<std::string, uint64_t> t;
+  t.insert("/", 1);
+  t.insert("/ckpt", 2);
+  t.insert("/ckpt/rank0", 3);
+  t.insert("/ckpt/rank1", 4);
+  std::vector<std::string> under;
+  t.scan_from("/ckpt/", [&](const std::string& k, const uint64_t&) {
+    if (k.rfind("/ckpt/", 0) != 0) return false;
+    under.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(under, (std::vector<std::string>{"/ckpt/rank0", "/ckpt/rank1"}));
+}
+
+TEST(BpTreeTest, MemoryFootprintGrows) {
+  BpTree<uint64_t, uint64_t, 16> t;
+  const size_t empty = t.memory_footprint();
+  for (uint64_t i = 0; i < 10000; ++i) t.insert(i, i);
+  EXPECT_GT(t.memory_footprint(), empty + 10000 * 16);
+}
+
+// Property test: random interleaved inserts/erases/overwrites must match
+// std::map exactly, at several fanouts.
+template <int Fanout>
+void run_fuzz(uint64_t seed, int ops) {
+  BpTree<uint32_t, uint32_t, Fanout> t;
+  std::map<uint32_t, uint32_t> ref;
+  Rng rng(seed);
+  for (int i = 0; i < ops; ++i) {
+    const uint32_t key = static_cast<uint32_t>(rng.uniform(500));
+    const auto action = rng.uniform(10);
+    if (action < 6) {
+      const auto val = static_cast<uint32_t>(rng.next());
+      EXPECT_EQ(t.insert(key, val), ref.insert_or_assign(key, val).second);
+    } else if (action < 9) {
+      EXPECT_EQ(t.erase(key), ref.erase(key) > 0);
+    } else {
+      const auto* found = t.find(key);
+      const auto it = ref.find(key);
+      if (it == ref.end()) {
+        EXPECT_EQ(found, nullptr);
+      } else {
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(*found, it->second);
+      }
+    }
+    ASSERT_EQ(t.size(), ref.size());
+  }
+  // Final full comparison via ordered iteration.
+  std::vector<std::pair<uint32_t, uint32_t>> got, want(ref.begin(), ref.end());
+  t.for_each([&](const uint32_t& k, const uint32_t& v) {
+    got.emplace_back(k, v);
+  });
+  EXPECT_EQ(got, want);
+}
+
+TEST(BpTreePropertyTest, FuzzAgainstStdMapFanout4) { run_fuzz<4>(11, 6000); }
+TEST(BpTreePropertyTest, FuzzAgainstStdMapFanout8) { run_fuzz<8>(22, 6000); }
+TEST(BpTreePropertyTest, FuzzAgainstStdMapFanout32) { run_fuzz<32>(33, 6000); }
+
+TEST(BpTreePropertyTest, SequentialInsertThenFullErase) {
+  BpTree<int, int, 8> t;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 2000; ++i) ASSERT_TRUE(t.insert(i, i));
+    for (int i = 0; i < 2000; ++i) ASSERT_TRUE(t.erase(i)) << i;
+    ASSERT_TRUE(t.empty());
+  }
+}
+
+}  // namespace
+}  // namespace nvmecr::microfs

@@ -1,0 +1,231 @@
+// Tests for the extensions beyond the paper's core: the N-1 checkpoint
+// pattern adapter (PLFS-style translation, §III-E's "other prevalent
+// pattern") and the DRAM cache layer (§V future work).
+#include <gtest/gtest.h>
+
+#include "hw/ram_device.h"
+#include "nvmecr/cache.h"
+#include "nvmecr/n1_adapter.h"
+#include "nvmecr/runtime.h"
+#include "simcore/engine.h"
+
+namespace nvmecr::nvmecr_rt {
+namespace {
+
+using namespace nvmecr::literals;
+
+// ---------------------------------------------------------------------
+// N-1 adapter
+// ---------------------------------------------------------------------
+
+struct N1Fixture {
+  sim::Engine eng;
+  hw::RamDevice dev{256_MiB, 4096};
+  std::unique_ptr<microfs::MicroFs> fs =
+      eng.run_task(microfs::MicroFs::format(eng, dev, {})).value();
+};
+
+TEST(N1AdapterTest, IndexCodecRoundtrip) {
+  std::vector<N1Extent> index{{0, 100, 0}, {4096, 200, 100}, {9999, 1, 300}};
+  std::vector<std::byte> buf;
+  encode_n1_index(index, buf);
+  auto decoded = decode_n1_index(buf);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 3u);
+  EXPECT_EQ((*decoded)[1].logical_off, 4096u);
+  EXPECT_EQ((*decoded)[1].length, 200u);
+  EXPECT_EQ((*decoded)[1].segment_off, 100u);
+  // Corruption detected.
+  buf[8] ^= std::byte{1};
+  EXPECT_FALSE(decode_n1_index(buf).ok());
+}
+
+TEST(N1AdapterTest, StridedWriteReadRoundtrip) {
+  N1Fixture f;
+  // Rank 3 of 8 writes blocks 3, 11, 19, ... of a logical shared file
+  // with 1 MiB blocks.
+  constexpr uint64_t kBlock = 1_MiB;
+  constexpr int kRanks = 8, kMyRank = 3, kRounds = 5;
+  f.eng.run_task([](microfs::MicroFs& m) -> sim::Task<void> {
+    auto writer = (co_await N1Writer::create(m, "/shared.ckpt")).value();
+    for (int round = 0; round < kRounds; ++round) {
+      const uint64_t logical =
+          (static_cast<uint64_t>(round) * kRanks + kMyRank) * kBlock;
+      EXPECT_TRUE((co_await writer->write_at(logical, kBlock)).ok());
+    }
+    // Strided (non-contiguous) logical offsets: one extent per stride.
+    EXPECT_EQ(writer->index_entries(), static_cast<size_t>(kRounds));
+    EXPECT_TRUE((co_await writer->close()).ok());
+
+    auto reader = (co_await N1Reader::open(m, "/shared.ckpt")).value();
+    EXPECT_EQ(reader->covered_bytes(), kRounds * kBlock);
+    for (int round = 0; round < kRounds; ++round) {
+      const uint64_t logical =
+          (static_cast<uint64_t>(round) * kRanks + kMyRank) * kBlock;
+      EXPECT_TRUE((co_await reader->read_at(logical, kBlock)).ok());
+    }
+    // A range this rank never wrote is reported, not fabricated.
+    EXPECT_EQ((co_await reader->read_at(0, kBlock)).code(),
+              ErrorCode::kNotFound);
+  }(*f.fs));
+}
+
+TEST(N1AdapterTest, ContiguousWritesCoalesceIndex) {
+  N1Fixture f;
+  f.eng.run_task([](microfs::MicroFs& m) -> sim::Task<void> {
+    auto writer = (co_await N1Writer::create(m, "/seq.ckpt")).value();
+    // A contiguous logical stream in many pieces: ONE index extent.
+    for (int i = 0; i < 32; ++i) {
+      EXPECT_TRUE(
+          (co_await writer->write_at(static_cast<uint64_t>(i) * 256_KiB,
+                                     256_KiB))
+              .ok());
+    }
+    EXPECT_EQ(writer->index_entries(), 1u);
+    EXPECT_TRUE((co_await writer->close()).ok());
+    auto reader = (co_await N1Reader::open(m, "/seq.ckpt")).value();
+    EXPECT_TRUE((co_await reader->read_at(3 * 256_KiB, 1_MiB)).ok());
+  }(*f.fs));
+}
+
+TEST(N1AdapterTest, CrashBeforeCloseLeavesNoUsableShare) {
+  N1Fixture f;
+  f.eng.run_task([](microfs::MicroFs& m) -> sim::Task<void> {
+    {
+      auto writer = (co_await N1Writer::create(m, "/torn.ckpt")).value();
+      EXPECT_TRUE((co_await writer->write_at(0, 1_MiB)).ok());
+      // Writer dropped without close(): no index is ever written.
+    }
+    auto reader = co_await N1Reader::open(m, "/torn.ckpt");
+    EXPECT_EQ(reader.status().code(), ErrorCode::kNotFound);
+  }(*f.fs));
+}
+
+TEST(N1AdapterTest, ShareSurvivesCrashRecovery) {
+  N1Fixture f;
+  f.eng.run_task([](microfs::MicroFs& m) -> sim::Task<void> {
+    auto writer = (co_await N1Writer::create(m, "/durable.ckpt")).value();
+    EXPECT_TRUE((co_await writer->write_at(2_MiB, 1_MiB)).ok());
+    EXPECT_TRUE((co_await writer->write_at(10_MiB, 1_MiB)).ok());
+    EXPECT_TRUE((co_await writer->close()).ok());
+  }(*f.fs));
+  f.fs.reset();  // crash
+  auto fs = f.eng.run_task(microfs::MicroFs::recover(f.eng, f.dev, {})).value();
+  f.eng.run_task([](microfs::MicroFs& m) -> sim::Task<void> {
+    auto reader = (co_await N1Reader::open(m, "/durable.ckpt")).value();
+    EXPECT_EQ(reader->index().size(), 2u);
+    EXPECT_TRUE((co_await reader->read_at(2_MiB, 1_MiB)).ok());
+    EXPECT_TRUE((co_await reader->read_at(10_MiB, 1_MiB)).ok());
+  }(*fs));
+}
+
+// ---------------------------------------------------------------------
+// Cache layer
+// ---------------------------------------------------------------------
+
+struct CacheFixture {
+  Cluster cluster;
+  Scheduler sched{cluster};
+  JobAllocation job = sched.allocate(1, 28, 256_MiB, 1).value();
+  NvmecrSystem system{cluster, job, RuntimeConfig{}};
+
+  std::unique_ptr<CachedClient> cached_client(uint64_t capacity) {
+    std::unique_ptr<CachedClient> out;
+    cluster.engine().run_task([&]() -> sim::Task<void> {
+      auto inner = (co_await system.connect(0)).value();
+      out = std::make_unique<CachedClient>(cluster.engine(),
+                                           std::move(inner), capacity);
+    }());
+    return out;
+  }
+};
+
+TEST(CacheLayerTest, RereadHitsDram) {
+  CacheFixture f;
+  auto client = f.cached_client(64_MiB);
+  f.cluster.engine().run_task([](sim::Engine& e,
+                                 CachedClient& c) -> sim::Task<void> {
+    auto fd = co_await c.create("/ckpt");
+    EXPECT_TRUE((co_await c.write(*fd, 16_MiB)).ok());
+    EXPECT_TRUE((co_await c.close(*fd)).ok());
+
+    // Cold device read would take 16 MiB / 2.2 GB/s ~ 7 ms; a DRAM hit
+    // takes 16 MiB / 8 GB/s ~ 2 ms.
+    auto rfd = co_await c.open_read("/ckpt");
+    const SimTime start = e.now();
+    EXPECT_TRUE((co_await c.read(*rfd, 16_MiB)).ok());
+    const SimDuration hit_time = e.now() - start;
+    EXPECT_TRUE((co_await c.close(*rfd)).ok());
+    EXPECT_LT(hit_time, 4 * kMillisecond);
+    EXPECT_EQ(c.stats().hit_bytes, 16_MiB);
+    EXPECT_EQ(c.stats().miss_bytes, 0u);
+  }(f.cluster.engine(), *client));
+}
+
+TEST(CacheLayerTest, EvictionUnderCapacity) {
+  CacheFixture f;
+  auto client = f.cached_client(10_MiB);
+  f.cluster.engine().run_task([](CachedClient& c) -> sim::Task<void> {
+    for (int i = 0; i < 4; ++i) {
+      auto fd = co_await c.create("/f" + std::to_string(i));
+      EXPECT_TRUE((co_await c.write(*fd, 4_MiB)).ok());
+      EXPECT_TRUE((co_await c.close(*fd)).ok());
+    }
+    // Capacity 10 MiB holds at most 2 complete 4 MiB files.
+    EXPECT_GT(c.stats().evictions, 0u);
+    EXPECT_LE(c.stats().resident_bytes, 10_MiB);
+    // The oldest file is gone -> miss; the newest is resident -> hit.
+    auto old_fd = co_await c.open_read("/f0");
+    EXPECT_TRUE((co_await c.read(*old_fd, 4_MiB)).ok());
+    co_await c.close(*old_fd);
+    EXPECT_EQ(c.stats().hit_bytes, 0u);
+    auto new_fd = co_await c.open_read("/f3");
+    EXPECT_TRUE((co_await c.read(*new_fd, 4_MiB)).ok());
+    co_await c.close(*new_fd);
+    EXPECT_EQ(c.stats().hit_bytes, 4_MiB);
+  }(*client));
+}
+
+TEST(CacheLayerTest, UnlinkAndTruncateInvalidate) {
+  CacheFixture f;
+  auto client = f.cached_client(64_MiB);
+  f.cluster.engine().run_task([](CachedClient& c) -> sim::Task<void> {
+    auto fd = co_await c.create("/x");
+    EXPECT_TRUE((co_await c.write(*fd, 2_MiB)).ok());
+    EXPECT_TRUE((co_await c.close(*fd)).ok());
+    EXPECT_EQ(c.stats().resident_bytes, 2_MiB);
+    // Recreate (truncate) invalidates the stale entry.
+    auto fd2 = co_await c.create("/x");
+    EXPECT_TRUE((co_await c.write(*fd2, 1_MiB)).ok());
+    EXPECT_TRUE((co_await c.close(*fd2)).ok());
+    EXPECT_EQ(c.stats().resident_bytes, 1_MiB);
+    // Unlink drops it entirely.
+    EXPECT_TRUE((co_await c.unlink("/x")).ok());
+    EXPECT_EQ(c.stats().resident_bytes, 0u);
+  }(*client));
+}
+
+TEST(CacheLayerTest, MissPopulatesForNextReader) {
+  CacheFixture f;
+  auto client = f.cached_client(64_MiB);
+  f.cluster.engine().run_task([](CachedClient& c) -> sim::Task<void> {
+    auto fd = co_await c.create("/warm");
+    EXPECT_TRUE((co_await c.write(*fd, 4_MiB)).ok());
+    EXPECT_TRUE((co_await c.close(*fd)).ok());
+    // Invalidate by recreating a different file and evicting... simpler:
+    // read twice; first may hit (write-through populated). Unlink+rewrite
+    // via inner to force a cold entry is covered above; here verify the
+    // second read is a hit even if the first was a miss.
+    auto r1 = co_await c.open_read("/warm");
+    EXPECT_TRUE((co_await c.read(*r1, 4_MiB)).ok());
+    co_await c.close(*r1);
+    const uint64_t hits_after_first = c.stats().hit_bytes;
+    auto r2 = co_await c.open_read("/warm");
+    EXPECT_TRUE((co_await c.read(*r2, 4_MiB)).ok());
+    co_await c.close(*r2);
+    EXPECT_EQ(c.stats().hit_bytes, hits_after_first + 4_MiB);
+  }(*client));
+}
+
+}  // namespace
+}  // namespace nvmecr::nvmecr_rt

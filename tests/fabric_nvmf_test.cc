@@ -1,0 +1,281 @@
+// Tests for the cluster topology, the RDMA network model, the NVMf
+// target/initiator pair, the SPDK local driver, and the overhead wrapper.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fabric/network.h"
+#include "fabric/topology.h"
+#include "hw/nvme_ssd.h"
+#include "hw/ram_device.h"
+#include "nvmf/overhead_device.h"
+#include "nvmf/spdk.h"
+#include "nvmf/target.h"
+#include "simcore/event.h"
+
+namespace nvmecr {
+namespace {
+
+using namespace nvmecr::literals;
+using fabric::Network;
+using fabric::NodeRole;
+using fabric::Topology;
+
+// ---------------------------------------------------------------------
+// Topology
+// ---------------------------------------------------------------------
+
+TEST(TopologyTest, PaperTestbedShape) {
+  Topology t = Topology::paper_testbed();
+  EXPECT_EQ(t.node_count(), 24u);
+  EXPECT_EQ(t.rack_count(), 2u);
+  EXPECT_EQ(t.nodes_with_role(NodeRole::kCompute).size(), 16u);
+  EXPECT_EQ(t.nodes_with_role(NodeRole::kStorage).size(), 8u);
+}
+
+TEST(TopologyTest, HopCounts) {
+  Topology t = Topology::paper_testbed();
+  const auto compute = t.nodes_with_role(NodeRole::kCompute);
+  const auto storage = t.nodes_with_role(NodeRole::kStorage);
+  EXPECT_EQ(t.hops(compute[0], compute[0]), 0u);
+  EXPECT_EQ(t.hops(compute[0], compute[1]), 2u);   // same rack
+  EXPECT_EQ(t.hops(compute[0], storage[0]), 4u);   // cross rack
+}
+
+TEST(TopologyTest, FailureDomainsFollowRacks) {
+  Topology t;
+  const auto r0 = t.add_rack(4, NodeRole::kCompute);
+  const auto r1 = t.add_rack(4, NodeRole::kStorage);
+  for (auto n : t.nodes_in_rack(r0)) EXPECT_EQ(t.failure_domain(n), r0);
+  for (auto n : t.nodes_in_rack(r1)) EXPECT_EQ(t.failure_domain(n), r1);
+  EXPECT_EQ(t.rack_distance(r0, r0), 0u);
+  EXPECT_EQ(t.rack_distance(r0, r1), 4u);
+}
+
+// ---------------------------------------------------------------------
+// Network
+// ---------------------------------------------------------------------
+
+struct NetFixture {
+  sim::Engine eng;
+  Topology topo = Topology::paper_testbed();
+  Network net{eng, topo};
+};
+
+TEST(NetworkTest, LatencyScalesWithHops) {
+  NetFixture f;
+  const auto compute = f.topo.nodes_with_role(NodeRole::kCompute);
+  const auto storage = f.topo.nodes_with_role(NodeRole::kStorage);
+  EXPECT_EQ(f.net.latency(compute[0], compute[0]), 0);
+  EXPECT_EQ(f.net.latency(compute[0], compute[1]), 1_us + 2 * 150);
+  EXPECT_EQ(f.net.latency(compute[0], storage[0]), 1_us + 4 * 150);
+}
+
+TEST(NetworkTest, TransferTimeMatchesNicRate) {
+  NetFixture f;
+  f.eng.run_task([](NetFixture& fx) -> sim::Task<void> {
+    co_await fx.net.transfer(0, 16, 125_MiB);  // ~125 MiB at 12.5 GB/s
+    const double expect = static_cast<double>(125_MiB) / 12.5e9;
+    EXPECT_NEAR(to_seconds(fx.eng.now()), expect, expect * 0.02);
+  }(f));
+}
+
+TEST(NetworkTest, SameNodeTransferIsFree) {
+  NetFixture f;
+  f.eng.run_task([](NetFixture& fx) -> sim::Task<void> {
+    co_await fx.net.transfer(3, 3, 1_GiB);
+    EXPECT_EQ(fx.eng.now(), 0);
+  }(f));
+}
+
+TEST(NetworkTest, ConcurrentFlowsShareReceiverNic) {
+  // Two senders to one receiver: the receiver's rx pipe is the
+  // bottleneck, so each flow sees about half the NIC rate.
+  NetFixture f;
+  std::vector<SimTime> done(2);
+  sim::JoinCounter join(f.eng);
+  for (int i = 0; i < 2; ++i) {
+    join.spawn([](NetFixture& fx, std::vector<SimTime>& d, int id)
+                   -> sim::Task<void> {
+      co_await fx.net.transfer(id, 16, 125_MiB);
+      d[id] = fx.eng.now();
+    }(f, done, i));
+  }
+  f.eng.run();
+  const double expect = 2.0 * static_cast<double>(125_MiB) / 12.5e9;
+  EXPECT_NEAR(to_seconds(done[0]), expect, expect * 0.05);
+  EXPECT_NEAR(to_seconds(done[1]), expect, expect * 0.05);
+}
+
+TEST(NetworkTest, DisjointPairsDoNotInterfere) {
+  NetFixture f;
+  std::vector<SimTime> done(2);
+  sim::JoinCounter join(f.eng);
+  join.spawn([](NetFixture& fx, std::vector<SimTime>& d) -> sim::Task<void> {
+    co_await fx.net.transfer(0, 16, 125_MiB);
+    d[0] = fx.eng.now();
+  }(f, done));
+  join.spawn([](NetFixture& fx, std::vector<SimTime>& d) -> sim::Task<void> {
+    co_await fx.net.transfer(1, 17, 125_MiB);
+    d[1] = fx.eng.now();
+  }(f, done));
+  f.eng.run();
+  const double expect = static_cast<double>(125_MiB) / 12.5e9;
+  EXPECT_NEAR(to_seconds(done[0]), expect, expect * 0.05);
+  EXPECT_NEAR(to_seconds(done[1]), expect, expect * 0.05);
+}
+
+TEST(NetworkTest, RpcPaysBothDirections) {
+  NetFixture f;
+  f.eng.run_task([](NetFixture& fx) -> sim::Task<void> {
+    const SimDuration one_way = fx.net.latency(0, 16);
+    co_await fx.net.rpc(0, 16, 64, 16);
+    EXPECT_GE(fx.eng.now(), 2 * one_way);
+  }(f));
+}
+
+// ---------------------------------------------------------------------
+// NVMf target/initiator
+// ---------------------------------------------------------------------
+
+struct NvmfFixture {
+  sim::Engine eng;
+  Topology topo = Topology::paper_testbed();
+  Network net{eng, topo};
+  hw::NvmeSsd ssd{eng, hw::SsdSpec{.capacity = 4_GiB}};
+  fabric::NodeId storage_node = topo.nodes_with_role(NodeRole::kStorage)[0];
+  fabric::NodeId compute_node = topo.nodes_with_role(NodeRole::kCompute)[0];
+  nvmf::NvmfTarget target{eng, net, storage_node, ssd};
+};
+
+TEST(NvmfTest, RemoteRoundtripPreservesData) {
+  NvmfFixture f;
+  const uint32_t nsid = *f.ssd.create_namespace(64_MiB);
+  auto dev = f.target.connect(f.compute_node, nsid).value();
+  f.eng.run_task([](hw::BlockDevice& d) -> sim::Task<void> {
+    std::vector<std::byte> data(5000, std::byte{0x3c});
+    EXPECT_TRUE((co_await d.write(8192, data)).ok());
+    std::vector<std::byte> out(5000);
+    EXPECT_TRUE((co_await d.read(8192, out)).ok());
+    EXPECT_EQ(out, data);
+  }(*dev));
+}
+
+TEST(NvmfTest, RemoteOverheadIsSmallForLargeIo) {
+  // The headline NVMf result (Figure 8(a)): remote access over RDMA adds
+  // < 3.5% for checkpoint-sized writes.
+  auto measure = [](bool remote) {
+    NvmfFixture f;
+    const uint32_t nsid = *f.ssd.create_namespace(2_GiB);
+    std::unique_ptr<hw::BlockDevice> dev;
+    if (remote) {
+      dev = f.target.connect(f.compute_node, nsid).value();
+    } else {
+      dev = nvmf::SpdkLocalDevice::open(f.ssd, nsid).value();
+    }
+    f.eng.run_task([](hw::BlockDevice& d) -> sim::Task<void> {
+      for (uint64_t off = 0; off < 512_MiB; off += 1_MiB) {
+        EXPECT_TRUE((co_await d.write_tagged(off, 1_MiB, 1)).ok());
+      }
+      co_await d.flush();
+    }(*dev));
+    return f.eng.now();
+  };
+  const SimTime local = measure(false);
+  const SimTime remote = measure(true);
+  EXPECT_GT(remote, local);
+  EXPECT_LT(static_cast<double>(remote - local) / static_cast<double>(local),
+            0.035);
+}
+
+TEST(NvmfTest, ConnectionsShareQueuesBeyondBudget) {
+  // 56-112 processes share one SSD (§III-F) but the controller only has
+  // 32 hardware queues: extra qpairs multiplex onto existing queues and
+  // release correctly.
+  NvmfFixture f;
+  hw::SsdSpec spec;
+  spec.capacity = 1_GiB;
+  spec.max_queues = 2;
+  hw::NvmeSsd tiny(f.eng, spec);
+  nvmf::NvmfTarget target(f.eng, f.net, f.storage_node, tiny);
+  const uint32_t nsid = *tiny.create_namespace(16_MiB);
+  auto a = target.connect(f.compute_node, nsid);
+  auto b = target.connect(f.compute_node, nsid);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(tiny.queues_in_use(), 2u);
+  // Third and fourth connections share the existing hardware queues.
+  auto c = target.connect(f.compute_node, nsid);
+  auto d = target.connect(f.compute_node, nsid);
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(tiny.queues_in_use(), 2u);
+  // Queues free only when the last sharer disconnects: a and c share
+  // queue 0, b and d share queue 1.
+  a->reset();
+  d->reset();
+  EXPECT_EQ(tiny.queues_in_use(), 2u);
+  b->reset();
+  c->reset();
+  EXPECT_EQ(tiny.queues_in_use(), 0u);
+}
+
+TEST(NvmfTest, TargetCountsCommands) {
+  NvmfFixture f;
+  const uint32_t nsid = *f.ssd.create_namespace(64_MiB);
+  auto dev = f.target.connect(f.compute_node, nsid).value();
+  f.eng.run_task([](hw::BlockDevice& d) -> sim::Task<void> {
+    for (int i = 0; i < 10; ++i) {
+      co_await d.write_tagged(static_cast<uint64_t>(i) * 32_KiB, 32_KiB, 1);
+    }
+  }(*dev));
+  EXPECT_EQ(f.target.commands_processed(), 10u);
+}
+
+// ---------------------------------------------------------------------
+// SPDK local driver + overhead wrapper
+// ---------------------------------------------------------------------
+
+TEST(SpdkTest, OwnsAndReleasesQueue) {
+  sim::Engine eng;
+  hw::NvmeSsd ssd(eng, hw::SsdSpec{.capacity = 1_GiB});
+  const uint32_t nsid = *ssd.create_namespace(64_MiB);
+  {
+    auto dev = nvmf::SpdkLocalDevice::open(ssd, nsid).value();
+    EXPECT_EQ(ssd.queues_in_use(), 1u);
+  }
+  EXPECT_EQ(ssd.queues_in_use(), 0u);
+}
+
+TEST(OverheadDeviceTest, ChargesAndAttributesKernelTime) {
+  sim::Engine eng;
+  hw::RamDevice ram(1_MiB);
+  SimDuration kernel_time = 0;
+  nvmf::OverheadDevice dev(
+      eng, ram, {.per_op_submit = 2_us, .per_op_complete = 3_us},
+      &kernel_time);
+  eng.run_task([](sim::Engine& e, hw::BlockDevice& d,
+                  SimDuration& kt) -> sim::Task<void> {
+    std::vector<std::byte> data(100, std::byte{1});
+    co_await d.write(0, data);
+    EXPECT_EQ(e.now(), 5_us);
+    EXPECT_EQ(kt, 5_us);
+    std::vector<std::byte> out(100);
+    co_await d.read(0, out);
+    EXPECT_EQ(kt, 10_us);
+    EXPECT_EQ(out, data);
+  }(eng, dev, kernel_time));
+}
+
+TEST(OverheadDeviceTest, NullAccumulatorIsFine) {
+  sim::Engine eng;
+  hw::RamDevice ram(1_MiB);
+  nvmf::OverheadDevice dev(eng, ram, {.per_op_submit = 1_us});
+  eng.run_task([](hw::BlockDevice& d) -> sim::Task<void> {
+    EXPECT_TRUE((co_await d.flush()).ok());
+  }(dev));
+  EXPECT_EQ(eng.now(), 1_us);
+}
+
+}  // namespace
+}  // namespace nvmecr

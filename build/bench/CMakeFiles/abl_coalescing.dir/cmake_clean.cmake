@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_coalescing.dir/abl_coalescing.cc.o"
+  "CMakeFiles/abl_coalescing.dir/abl_coalescing.cc.o.d"
+  "abl_coalescing"
+  "abl_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

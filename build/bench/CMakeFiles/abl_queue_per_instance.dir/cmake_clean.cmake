@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_queue_per_instance.dir/abl_queue_per_instance.cc.o"
+  "CMakeFiles/abl_queue_per_instance.dir/abl_queue_per_instance.cc.o.d"
+  "abl_queue_per_instance"
+  "abl_queue_per_instance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_queue_per_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

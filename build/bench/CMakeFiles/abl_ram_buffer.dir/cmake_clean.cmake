@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ram_buffer.dir/abl_ram_buffer.cc.o"
+  "CMakeFiles/abl_ram_buffer.dir/abl_ram_buffer.cc.o.d"
+  "abl_ram_buffer"
+  "abl_ram_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ram_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cache_layer.dir/ext_cache_layer.cc.o"
+  "CMakeFiles/ext_cache_layer.dir/ext_cache_layer.cc.o.d"
+  "ext_cache_layer"
+  "ext_cache_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cache_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

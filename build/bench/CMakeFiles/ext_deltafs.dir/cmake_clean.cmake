@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_deltafs.dir/ext_deltafs.cc.o"
+  "CMakeFiles/ext_deltafs.dir/ext_deltafs.cc.o.d"
+  "ext_deltafs"
+  "ext_deltafs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_deltafs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_incremental.cc" "bench/CMakeFiles/ext_incremental.dir/ext_incremental.cc.o" "gcc" "bench/CMakeFiles/ext_incremental.dir/ext_incremental.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/nvmecr_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/nvmecr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvmecr/CMakeFiles/nvmecr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelfs/CMakeFiles/nvmecr_kernelfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvmf/CMakeFiles/nvmecr_nvmf.dir/DependInfo.cmake"
+  "/root/repo/build/src/microfs/CMakeFiles/nvmecr_microfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/nvmecr_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/nvmecr_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nvmecr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

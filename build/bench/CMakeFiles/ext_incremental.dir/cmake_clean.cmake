@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_incremental.dir/ext_incremental.cc.o"
+  "CMakeFiles/ext_incremental.dir/ext_incremental.cc.o.d"
+  "ext_incremental"
+  "ext_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

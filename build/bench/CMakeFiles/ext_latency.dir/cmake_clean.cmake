@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_latency.dir/ext_latency.cc.o"
+  "CMakeFiles/ext_latency.dir/ext_latency.cc.o.d"
+  "ext_latency"
+  "ext_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_n1_pattern.dir/ext_n1_pattern.cc.o"
+  "CMakeFiles/ext_n1_pattern.dir/ext_n1_pattern.cc.o.d"
+  "ext_n1_pattern"
+  "ext_n1_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_n1_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

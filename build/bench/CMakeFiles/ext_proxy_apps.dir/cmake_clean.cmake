@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_proxy_apps.dir/ext_proxy_apps.cc.o"
+  "CMakeFiles/ext_proxy_apps.dir/ext_proxy_apps.cc.o.d"
+  "ext_proxy_apps"
+  "ext_proxy_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_proxy_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

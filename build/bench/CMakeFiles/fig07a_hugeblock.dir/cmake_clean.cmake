@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07a_hugeblock.dir/fig07a_hugeblock.cc.o"
+  "CMakeFiles/fig07a_hugeblock.dir/fig07a_hugeblock.cc.o.d"
+  "fig07a_hugeblock"
+  "fig07a_hugeblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07a_hugeblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

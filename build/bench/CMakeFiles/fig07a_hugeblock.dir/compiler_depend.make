@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07a_hugeblock.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07a_hugeblock.
+# This may be replaced when dependencies are built.

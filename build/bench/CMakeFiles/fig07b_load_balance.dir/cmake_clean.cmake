@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07b_load_balance.dir/fig07b_load_balance.cc.o"
+  "CMakeFiles/fig07b_load_balance.dir/fig07b_load_balance.cc.o.d"
+  "fig07b_load_balance"
+  "fig07b_load_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07b_load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07c_direct_access.dir/fig07c_direct_access.cc.o"
+  "CMakeFiles/fig07c_direct_access.dir/fig07c_direct_access.cc.o.d"
+  "fig07c_direct_access"
+  "fig07c_direct_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07c_direct_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07c_direct_access.
+# This may be replaced when dependencies are built.

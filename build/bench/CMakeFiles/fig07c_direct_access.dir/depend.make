@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07c_direct_access.
+# This may be replaced when dependencies are built.

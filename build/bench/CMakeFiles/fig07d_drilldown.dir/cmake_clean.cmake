@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07d_drilldown.dir/fig07d_drilldown.cc.o"
+  "CMakeFiles/fig07d_drilldown.dir/fig07d_drilldown.cc.o.d"
+  "fig07d_drilldown"
+  "fig07d_drilldown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07d_drilldown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07d_drilldown.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08a_nvmf_overhead.dir/fig08a_nvmf_overhead.cc.o"
+  "CMakeFiles/fig08a_nvmf_overhead.dir/fig08a_nvmf_overhead.cc.o.d"
+  "fig08a_nvmf_overhead"
+  "fig08a_nvmf_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08a_nvmf_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

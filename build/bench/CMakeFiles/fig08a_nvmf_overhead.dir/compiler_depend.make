@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08a_nvmf_overhead.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08b_create_perf.dir/fig08b_create_perf.cc.o"
+  "CMakeFiles/fig08b_create_perf.dir/fig08b_create_perf.cc.o.d"
+  "fig08b_create_perf"
+  "fig08b_create_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08b_create_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_metadata_overhead.dir/table1_metadata_overhead.cc.o"
+  "CMakeFiles/table1_metadata_overhead.dir/table1_metadata_overhead.cc.o.d"
+  "table1_metadata_overhead"
+  "table1_metadata_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_metadata_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

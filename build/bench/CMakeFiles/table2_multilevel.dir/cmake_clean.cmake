@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_multilevel.dir/table2_multilevel.cc.o"
+  "CMakeFiles/table2_multilevel.dir/table2_multilevel.cc.o.d"
+  "table2_multilevel"
+  "table2_multilevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_multilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascading_failure.dir/cascading_failure.cpp.o"
+  "CMakeFiles/cascading_failure.dir/cascading_failure.cpp.o.d"
+  "cascading_failure"
+  "cascading_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascading_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

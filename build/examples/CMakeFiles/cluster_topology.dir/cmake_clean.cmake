@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_topology.dir/cluster_topology.cpp.o"
+  "CMakeFiles/cluster_topology.dir/cluster_topology.cpp.o.d"
+  "cluster_topology"
+  "cluster_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comd_checkpoint.dir/comd_checkpoint.cpp.o"
+  "CMakeFiles/comd_checkpoint.dir/comd_checkpoint.cpp.o.d"
+  "comd_checkpoint"
+  "comd_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comd_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("simcore")
+subdirs("hw")
+subdirs("fabric")
+subdirs("nvmf")
+subdirs("kernelfs")
+subdirs("minimpi")
+subdirs("microfs")
+subdirs("nvmecr")
+subdirs("baselines")
+subdirs("workloads")
+subdirs("metrics")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmecr_baselines.dir/dfs_base.cc.o"
+  "CMakeFiles/nvmecr_baselines.dir/dfs_base.cc.o.d"
+  "CMakeFiles/nvmecr_baselines.dir/models.cc.o"
+  "CMakeFiles/nvmecr_baselines.dir/models.cc.o.d"
+  "libnvmecr_baselines.a"
+  "libnvmecr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmecr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

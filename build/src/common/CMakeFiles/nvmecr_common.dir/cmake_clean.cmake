@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmecr_common.dir/log.cc.o"
+  "CMakeFiles/nvmecr_common.dir/log.cc.o.d"
+  "CMakeFiles/nvmecr_common.dir/status.cc.o"
+  "CMakeFiles/nvmecr_common.dir/status.cc.o.d"
+  "libnvmecr_common.a"
+  "libnvmecr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmecr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/nvme_ssd.cc" "src/hw/CMakeFiles/nvmecr_hw.dir/nvme_ssd.cc.o" "gcc" "src/hw/CMakeFiles/nvmecr_hw.dir/nvme_ssd.cc.o.d"
+  "/root/repo/src/hw/payload_store.cc" "src/hw/CMakeFiles/nvmecr_hw.dir/payload_store.cc.o" "gcc" "src/hw/CMakeFiles/nvmecr_hw.dir/payload_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/nvmecr_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nvmecr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmecr_hw.dir/nvme_ssd.cc.o"
+  "CMakeFiles/nvmecr_hw.dir/nvme_ssd.cc.o.d"
+  "CMakeFiles/nvmecr_hw.dir/payload_store.cc.o"
+  "CMakeFiles/nvmecr_hw.dir/payload_store.cc.o.d"
+  "libnvmecr_hw.a"
+  "libnvmecr_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmecr_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmecr_kernelfs.dir/localfs.cc.o"
+  "CMakeFiles/nvmecr_kernelfs.dir/localfs.cc.o.d"
+  "libnvmecr_kernelfs.a"
+  "libnvmecr_kernelfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmecr_kernelfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmecr_metrics.dir/report.cc.o"
+  "CMakeFiles/nvmecr_metrics.dir/report.cc.o.d"
+  "libnvmecr_metrics.a"
+  "libnvmecr_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmecr_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmecr_microfs.dir/block_pool.cc.o"
+  "CMakeFiles/nvmecr_microfs.dir/block_pool.cc.o.d"
+  "CMakeFiles/nvmecr_microfs.dir/microfs.cc.o"
+  "CMakeFiles/nvmecr_microfs.dir/microfs.cc.o.d"
+  "CMakeFiles/nvmecr_microfs.dir/oplog.cc.o"
+  "CMakeFiles/nvmecr_microfs.dir/oplog.cc.o.d"
+  "libnvmecr_microfs.a"
+  "libnvmecr_microfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmecr_microfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nvmecr_microfs.
+# This may be replaced when dependencies are built.

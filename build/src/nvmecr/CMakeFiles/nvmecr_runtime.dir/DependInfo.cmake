@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvmecr/balancer.cc" "src/nvmecr/CMakeFiles/nvmecr_runtime.dir/balancer.cc.o" "gcc" "src/nvmecr/CMakeFiles/nvmecr_runtime.dir/balancer.cc.o.d"
+  "/root/repo/src/nvmecr/cluster.cc" "src/nvmecr/CMakeFiles/nvmecr_runtime.dir/cluster.cc.o" "gcc" "src/nvmecr/CMakeFiles/nvmecr_runtime.dir/cluster.cc.o.d"
+  "/root/repo/src/nvmecr/n1_adapter.cc" "src/nvmecr/CMakeFiles/nvmecr_runtime.dir/n1_adapter.cc.o" "gcc" "src/nvmecr/CMakeFiles/nvmecr_runtime.dir/n1_adapter.cc.o.d"
+  "/root/repo/src/nvmecr/posix_shim.cc" "src/nvmecr/CMakeFiles/nvmecr_runtime.dir/posix_shim.cc.o" "gcc" "src/nvmecr/CMakeFiles/nvmecr_runtime.dir/posix_shim.cc.o.d"
+  "/root/repo/src/nvmecr/runtime.cc" "src/nvmecr/CMakeFiles/nvmecr_runtime.dir/runtime.cc.o" "gcc" "src/nvmecr/CMakeFiles/nvmecr_runtime.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/microfs/CMakeFiles/nvmecr_microfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvmf/CMakeFiles/nvmecr_nvmf.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelfs/CMakeFiles/nvmecr_kernelfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/nvmecr_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/nvmecr_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nvmecr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmecr_runtime.dir/balancer.cc.o"
+  "CMakeFiles/nvmecr_runtime.dir/balancer.cc.o.d"
+  "CMakeFiles/nvmecr_runtime.dir/cluster.cc.o"
+  "CMakeFiles/nvmecr_runtime.dir/cluster.cc.o.d"
+  "CMakeFiles/nvmecr_runtime.dir/n1_adapter.cc.o"
+  "CMakeFiles/nvmecr_runtime.dir/n1_adapter.cc.o.d"
+  "CMakeFiles/nvmecr_runtime.dir/posix_shim.cc.o"
+  "CMakeFiles/nvmecr_runtime.dir/posix_shim.cc.o.d"
+  "CMakeFiles/nvmecr_runtime.dir/runtime.cc.o"
+  "CMakeFiles/nvmecr_runtime.dir/runtime.cc.o.d"
+  "libnvmecr_runtime.a"
+  "libnvmecr_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmecr_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmecr_nvmf.dir/target.cc.o"
+  "CMakeFiles/nvmecr_nvmf.dir/target.cc.o.d"
+  "libnvmecr_nvmf.a"
+  "libnvmecr_nvmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmecr_nvmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

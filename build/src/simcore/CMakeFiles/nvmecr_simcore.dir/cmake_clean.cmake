@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmecr_simcore.dir/engine.cc.o"
+  "CMakeFiles/nvmecr_simcore.dir/engine.cc.o.d"
+  "CMakeFiles/nvmecr_simcore.dir/trace.cc.o"
+  "CMakeFiles/nvmecr_simcore.dir/trace.cc.o.d"
+  "libnvmecr_simcore.a"
+  "libnvmecr_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmecr_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

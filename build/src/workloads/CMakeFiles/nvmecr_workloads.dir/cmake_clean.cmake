@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmecr_workloads.dir/comd.cc.o"
+  "CMakeFiles/nvmecr_workloads.dir/comd.cc.o.d"
+  "libnvmecr_workloads.a"
+  "libnvmecr_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmecr_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnvmecr_workloads.a"
+)

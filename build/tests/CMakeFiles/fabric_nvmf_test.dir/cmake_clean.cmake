@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_nvmf_test.dir/fabric_nvmf_test.cc.o"
+  "CMakeFiles/fabric_nvmf_test.dir/fabric_nvmf_test.cc.o.d"
+  "fabric_nvmf_test"
+  "fabric_nvmf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_nvmf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernelfs_minimpi_test.dir/kernelfs_minimpi_test.cc.o"
+  "CMakeFiles/kernelfs_minimpi_test.dir/kernelfs_minimpi_test.cc.o.d"
+  "kernelfs_minimpi_test"
+  "kernelfs_minimpi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernelfs_minimpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

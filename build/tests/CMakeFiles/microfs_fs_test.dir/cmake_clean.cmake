@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microfs_fs_test.dir/microfs_fs_test.cc.o"
+  "CMakeFiles/microfs_fs_test.dir/microfs_fs_test.cc.o.d"
+  "microfs_fs_test"
+  "microfs_fs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microfs_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microfs_param_test.dir/microfs_param_test.cc.o"
+  "CMakeFiles/microfs_param_test.dir/microfs_param_test.cc.o.d"
+  "microfs_param_test"
+  "microfs_param_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microfs_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microfs_structures_test.dir/microfs_structures_test.cc.o"
+  "CMakeFiles/microfs_structures_test.dir/microfs_structures_test.cc.o.d"
+  "microfs_structures_test"
+  "microfs_structures_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microfs_structures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

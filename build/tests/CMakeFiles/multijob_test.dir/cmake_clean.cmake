@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multijob_test.dir/multijob_test.cc.o"
+  "CMakeFiles/multijob_test.dir/multijob_test.cc.o.d"
+  "multijob_test"
+  "multijob_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multijob_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;nvmecr_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(simcore_test "/root/repo/build/tests/simcore_test")
+set_tests_properties(simcore_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;10;nvmecr_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(hw_test "/root/repo/build/tests/hw_test")
+set_tests_properties(hw_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;11;nvmecr_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fabric_nvmf_test "/root/repo/build/tests/fabric_nvmf_test")
+set_tests_properties(fabric_nvmf_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;nvmecr_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(kernelfs_minimpi_test "/root/repo/build/tests/kernelfs_minimpi_test")
+set_tests_properties(kernelfs_minimpi_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;13;nvmecr_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bptree_test "/root/repo/build/tests/bptree_test")
+set_tests_properties(bptree_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;14;nvmecr_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(microfs_structures_test "/root/repo/build/tests/microfs_structures_test")
+set_tests_properties(microfs_structures_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;nvmecr_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(microfs_fs_test "/root/repo/build/tests/microfs_fs_test")
+set_tests_properties(microfs_fs_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;16;nvmecr_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(runtime_test "/root/repo/build/tests/runtime_test")
+set_tests_properties(runtime_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;17;nvmecr_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fault_injection_test "/root/repo/build/tests/fault_injection_test")
+set_tests_properties(fault_injection_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;nvmecr_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(microfs_param_test "/root/repo/build/tests/microfs_param_test")
+set_tests_properties(microfs_param_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;19;nvmecr_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(extensions_test "/root/repo/build/tests/extensions_test")
+set_tests_properties(extensions_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;20;nvmecr_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(multijob_test "/root/repo/build/tests/multijob_test")
+set_tests_properties(multijob_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;21;nvmecr_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(stress_test "/root/repo/build/tests/stress_test")
+set_tests_properties(stress_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;22;nvmecr_add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -10,6 +10,7 @@
 #include "baselines/models.h"
 #include "common/table.h"
 #include "nvmecr/runtime.h"
+#include "obs/observer.h"
 #include "workloads/comd.h"
 
 namespace nvmecr::bench {
@@ -70,11 +71,16 @@ inline uint64_t partition_for(const ComdParams& p) {
 }
 
 /// Deploys NVMe-CR for `params` on a fresh cluster and runs the job.
+/// `observer` (optional) instruments the whole stack — pass
+/// obs::RunReport::observer() to capture a trace/metrics snapshot of the
+/// run.
 inline JobMetrics run_nvmecr(const ComdParams& params,
                              RuntimeConfig config = default_runtime_config(),
                              StorageSystem** out_system = nullptr,
-                             uint32_t num_ssds = 8) {
+                             uint32_t num_ssds = 8,
+                             const obs::Observer& observer = {}) {
   Cluster cluster;
+  if (observer.any()) cluster.install_observer(observer);
   Scheduler sched(cluster);
   auto job = sched.allocate(params.nranks, params.procs_per_node,
                             partition_for(params), num_ssds);

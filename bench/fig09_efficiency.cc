@@ -12,6 +12,7 @@
 // at 448 (metadata-server read influx); OrangeFS collapses under the
 // concurrent metadata burden.
 #include "bench_util.h"
+#include "obs/run_report.h"
 
 namespace nvmecr::bench {
 namespace {
@@ -47,12 +48,24 @@ void run_scaling(const char* title,
 }  // namespace
 }  // namespace nvmecr::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nvmecr::bench;
   run_scaling("Figure 9(a,b) [strong scaling]", strong_scaling_params);
   run_scaling("Figure 9(c,d) [weak scaling]", weak_scaling_params);
   std::printf(
       "\nPaper reference: NVMe-CR ~0.96 ckpt / ~0.99 recovery at 448 "
       "(weak); GlusterFS ~13%% lower ckpt; OrangeFS lowest.\n");
+
+  // With --trace/--metrics, repeat one representative configuration
+  // (weak scaling, 112 processes) fully instrumented and export the
+  // observability artifacts for that run.
+  nvmecr::obs::RunReport report =
+      nvmecr::obs::RunReport::from_args(argc, argv);
+  if (report.enabled()) {
+    std::printf("\ninstrumented rerun: weak scaling, 112 processes\n");
+    run_nvmecr(weak_scaling_params(112), default_runtime_config(),
+               /*out_system=*/nullptr, /*num_ssds=*/8, report.observer());
+    report.finish();
+  }
   return 0;
 }

@@ -5,20 +5,26 @@
 // the CoMD proxy runs its compute/checkpoint loop with a restart phase.
 //
 // Run:  ./build/examples/comd_checkpoint
+//         [--trace out.trace.json]   Perfetto trace of the whole pipeline
+//         [--metrics out.csv]        metrics registry snapshot (CSV/JSON)
 #include <cstdio>
 
 #include "baselines/models.h"
 #include "metrics/report.h"
 #include "nvmecr/runtime.h"
+#include "obs/run_report.h"
 #include "workloads/comd.h"
 
 using namespace nvmecr;
 using namespace nvmecr::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::RunReport report = obs::RunReport::from_args(argc, argv);
+
   // The paper's testbed: 16 compute nodes (28 cores), 8 storage nodes
   // with one P4800X-class SSD each, EDR InfiniBand (§IV-A).
   nvmecr_rt::Cluster cluster;
+  cluster.install_observer(report.observer());
   nvmecr_rt::Scheduler scheduler(cluster);
 
   // A 112-rank job; the process:SSD guidance (56-112 per SSD, §III-F)
@@ -65,14 +71,15 @@ int main() {
               metrics->load_cov());
 
   // The metrics module renders the same run as a uniform table + CSV.
-  metrics::ScalingReport report("comd_checkpoint summary");
-  report.add("112 ranks / 2 SSDs", *metrics);
-  report.print_table();
-  if (report.write_csv("comd_checkpoint.csv")) {
+  metrics::ScalingReport summary("comd_checkpoint summary");
+  summary.add("112 ranks / 2 SSDs", *metrics);
+  summary.print_table();
+  if (summary.write_csv("comd_checkpoint.csv")) {
     std::printf("(metrics also written to comd_checkpoint.csv)\n");
   }
 
   scheduler.release(*job);
   std::printf("job released; namespaces returned to the scheduler\n");
+  report.finish();
   return 0;
 }

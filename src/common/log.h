@@ -1,8 +1,15 @@
 // Minimal leveled diagnostic logging. Off by default so bench output stays
 // clean; enable with NVMECR_LOG=debug|info|warn in the environment.
+//
+// When a simulation is running, the owning Cluster installs a time source
+// (log_set_time_source) so every line is prefixed with the sim clock, e.g.
+//   [12.345ms] [WARN] [oplog] ring full, forcing hugeblock flush
+// which lets log lines be correlated with trace spans. The tagged macros
+// NVMECR_SLOG_* additionally name the emitting subsystem.
 #pragma once
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 
 namespace nvmecr {
@@ -12,15 +19,37 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
 /// Current threshold, parsed once from $NVMECR_LOG.
 LogLevel log_threshold();
 
-/// printf-style log statement; no-op below the threshold.
-void log_message(LogLevel level, const char* fmt, ...)
-    __attribute__((format(printf, 2, 3)));
+/// Clock callback returning the current sim time in nanoseconds. A plain
+/// C function pointer (not std::function) so common/ stays free of any
+/// dependency on simcore; the installer passes an opaque context.
+using LogTimeSourceFn = uint64_t (*)(const void* ctx);
+
+/// Installs (or with fn == nullptr, removes) the timestamp source used to
+/// prefix log lines. `ctx` is handed back to `fn` verbatim.
+void log_set_time_source(LogTimeSourceFn fn, const void* ctx);
+
+/// The context currently installed (nullptr if none). Lets an owner clear
+/// the source only if it is still its own (nested clusters).
+const void* log_time_source_ctx();
+
+/// printf-style log statement; no-op below the threshold. `subsystem` is
+/// an optional tag printed after the level (nullptr to omit).
+void log_message_tagged(LogLevel level, const char* subsystem, const char* fmt,
+                        ...) __attribute__((format(printf, 3, 4)));
 
 #define NVMECR_LOG_DEBUG(...) \
-  ::nvmecr::log_message(::nvmecr::LogLevel::kDebug, __VA_ARGS__)
+  ::nvmecr::log_message_tagged(::nvmecr::LogLevel::kDebug, nullptr, __VA_ARGS__)
 #define NVMECR_LOG_INFO(...) \
-  ::nvmecr::log_message(::nvmecr::LogLevel::kInfo, __VA_ARGS__)
+  ::nvmecr::log_message_tagged(::nvmecr::LogLevel::kInfo, nullptr, __VA_ARGS__)
 #define NVMECR_LOG_WARN(...) \
-  ::nvmecr::log_message(::nvmecr::LogLevel::kWarn, __VA_ARGS__)
+  ::nvmecr::log_message_tagged(::nvmecr::LogLevel::kWarn, nullptr, __VA_ARGS__)
+
+// Subsystem-tagged variants: NVMECR_SLOG_WARN("oplog", "ring full ...").
+#define NVMECR_SLOG_DEBUG(subsystem, ...) \
+  ::nvmecr::log_message_tagged(::nvmecr::LogLevel::kDebug, subsystem, __VA_ARGS__)
+#define NVMECR_SLOG_INFO(subsystem, ...) \
+  ::nvmecr::log_message_tagged(::nvmecr::LogLevel::kInfo, subsystem, __VA_ARGS__)
+#define NVMECR_SLOG_WARN(subsystem, ...) \
+  ::nvmecr::log_message_tagged(::nvmecr::LogLevel::kWarn, subsystem, __VA_ARGS__)
 
 }  // namespace nvmecr

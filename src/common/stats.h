@@ -80,7 +80,9 @@ class Samples {
   }
 
   /// Percentile in [0, 100] by nearest-rank on the sorted samples.
-  double percentile(double p) {
+  /// Const: the lazy sort is an internal caching detail (mutable), so
+  /// read-only snapshots can query percentiles.
+  double percentile(double p) const {
     if (xs_.empty()) return 0.0;
     ensure_sorted();
     const double rank = p / 100.0 * static_cast<double>(xs_.size() - 1);
@@ -90,11 +92,11 @@ class Samples {
     return xs_[lo] * (1.0 - frac) + xs_[hi] * frac;
   }
 
-  double min() {
+  double min() const {
     ensure_sorted();
     return xs_.empty() ? 0.0 : xs_.front();
   }
-  double max() {
+  double max() const {
     ensure_sorted();
     return xs_.empty() ? 0.0 : xs_.back();
   }
@@ -102,14 +104,16 @@ class Samples {
   const std::vector<double>& values() const { return xs_; }
 
  private:
-  void ensure_sorted() {
+  void ensure_sorted() const {
     if (!sorted_) {
       std::sort(xs_.begin(), xs_.end());
       sorted_ = true;
     }
   }
-  std::vector<double> xs_;
-  bool sorted_ = true;
+  /// Mutable: sorting reorders but never changes the sample multiset, so
+  /// the observable state of a const Samples is unchanged.
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = true;
 };
 
 }  // namespace nvmecr

@@ -14,8 +14,11 @@
 #include <cstdint>
 #include <vector>
 
+#include <string>
+
 #include "common/units.h"
 #include "fabric/topology.h"
+#include "obs/observer.h"
 #include "simcore/engine.h"
 #include "simcore/resource.h"
 
@@ -68,6 +71,8 @@ class Network {
     }
     Nic& s = nics_[src];
     Nic& d = nics_[dst];
+    if (s.tx_bytes != nullptr) s.tx_bytes->add(bytes);
+    if (d.rx_bytes != nullptr) d.rx_bytes->add(bytes);
     const uint64_t chunk = params_.fair_chunk;
     SimTime arrive = engine_.now();
     uint64_t left = bytes;
@@ -80,6 +85,9 @@ class Network {
       // interleave their reservations — fair sharing); the rx side
       // pipelines: chunk k is received while chunk k+1 transmits.
       if (left > 0) co_await engine_.sleep_until(tx_done);
+    }
+    if (s.tx_backlog != nullptr) {
+      s.tx_backlog->set(engine_.now(), static_cast<double>(s.tx.backlog()));
     }
     co_await engine_.sleep_until(arrive);
     co_await engine_.delay(latency(src, dst));
@@ -100,10 +108,31 @@ class Network {
     return nics_[node].tx.backlog();
   }
 
+  /// Installs per-NIC byte counters ("fabric.node<i>.{tx,rx}_bytes") and
+  /// transmit-backlog gauges. Pass {} to detach.
+  void set_observer(const obs::Observer& o) {
+    for (Nic& nic : nics_) {
+      nic.tx_bytes = nullptr;
+      nic.rx_bytes = nullptr;
+      nic.tx_backlog = nullptr;
+    }
+    if (o.metrics == nullptr) return;
+    for (size_t n = 0; n < nics_.size(); ++n) {
+      const std::string prefix = "fabric.node" + std::to_string(n) + ".";
+      nics_[n].tx_bytes = o.metrics->counter(prefix + "tx_bytes");
+      nics_[n].rx_bytes = o.metrics->counter(prefix + "rx_bytes");
+      nics_[n].tx_backlog = o.metrics->gauge(prefix + "tx_backlog_ns");
+    }
+  }
+
  private:
   struct Nic {
     sim::BandwidthResource tx;
     sim::BandwidthResource rx;
+    // Cached metric slots (null when observability is off).
+    obs::Counter* tx_bytes = nullptr;
+    obs::Counter* rx_bytes = nullptr;
+    obs::Gauge* tx_backlog = nullptr;
   };
 
   sim::Engine& engine_;

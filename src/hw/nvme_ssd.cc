@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "simcore/trace.h"
 
 namespace nvmecr::hw {
 
@@ -121,6 +122,29 @@ SimTime NvmeSsd::reserve_channels(
   return finish;
 }
 
+void NvmeSsd::set_observer(const obs::Observer& o) {
+  obs_ = o;
+  trace_track_ = "ssd/" + name_;
+  m_cmds_ = nullptr;
+  m_bytes_written_ = nullptr;
+  m_bytes_read_ = nullptr;
+  m_ram_hits_ = nullptr;
+  m_ram_misses_ = nullptr;
+  m_chan_backlog_.clear();
+  if (obs_.metrics == nullptr) return;
+  const std::string prefix = "ssd." + name_ + ".";
+  m_cmds_ = obs_.metrics->counter(prefix + "commands");
+  m_bytes_written_ = obs_.metrics->counter(prefix + "bytes_written");
+  m_bytes_read_ = obs_.metrics->counter(prefix + "bytes_read");
+  m_ram_hits_ = obs_.metrics->counter(prefix + "ram_hits");
+  m_ram_misses_ = obs_.metrics->counter(prefix + "ram_misses");
+  m_chan_backlog_.reserve(spec_.channels);
+  for (uint32_t c = 0; c < spec_.channels; ++c) {
+    m_chan_backlog_.push_back(obs_.metrics->gauge(
+        prefix + "chan" + std::to_string(c) + ".write_backlog_ns"));
+  }
+}
+
 Status NvmeSsd::corrupt_media(uint32_t nsid, uint64_t offset, uint64_t len) {
   auto it = namespaces_.find(nsid);
   if (it == namespaces_.end()) return NotFoundError("no namespace");
@@ -173,8 +197,24 @@ sim::Task<Status> NvmeSsd::submit(Command cmd, uint64_t* tag_out) {
             transfer_time(spec_.device_ram, spec_.write_bw);
         completion = std::max(
             ram_path, flash_finish + spec_.command_latency - headroom);
+        // RAM "hit": the capacitor-backed buffer absorbed the write (the
+        // RAM-speed path set the completion); "miss": flash drain
+        // dominated because the backlog exceeded the RAM's headroom.
+        if (completion == ram_path) {
+          if (m_ram_hits_ != nullptr) m_ram_hits_->add(ncmds);
+        } else {
+          if (m_ram_misses_ != nullptr) m_ram_misses_->add(ncmds);
+        }
       } else {
         completion = flash_finish + spec_.command_latency;
+        if (m_ram_misses_ != nullptr) m_ram_misses_->add(ncmds);
+      }
+      if (!m_chan_backlog_.empty()) {
+        const SimTime now = engine_.now();
+        for (uint32_t c = 0; c < spec_.channels; ++c) {
+          m_chan_backlog_[c]->set(
+              now, static_cast<double>(write_channels_[c].backlog()));
+        }
       }
       // Content + accounting take effect with the acknowledgement.
       if (cmd.tagged) {
@@ -219,6 +259,24 @@ sim::Task<Status> NvmeSsd::submit(Command cmd, uint64_t* tag_out) {
   // In-order completion within a hardware queue.
   completion = std::max(completion, queue.last_completion);
   queue.last_completion = completion;
+
+  if (m_cmds_ != nullptr) m_cmds_->add(ncmds);
+  if (m_bytes_written_ != nullptr && cmd.op == Op::kWrite) {
+    m_bytes_written_->add(cmd.len);
+  }
+  if (m_bytes_read_ != nullptr && cmd.op == Op::kRead) {
+    m_bytes_read_->add(cmd.len);
+  }
+  if (obs_.trace != nullptr) {
+    // The completion time is already known, so the span can be recorded
+    // up front instead of via an RAII guard across the suspension.
+    const char* op_name = cmd.op == Op::kWrite   ? "write"
+                          : cmd.op == Op::kRead ? "read"
+                                                : "flush";
+    obs_.trace->add_span(trace_track_, op_name, engine_.now(), completion,
+                         {{"bytes", static_cast<double>(cmd.len)},
+                          {"cmds", static_cast<double>(ncmds)}});
+  }
 
   co_await engine_.sleep_until(completion);
   if (inject_errors_ > 0) {

@@ -28,6 +28,7 @@
 #include "hw/block_device.h"
 #include "hw/payload_store.h"
 #include "hw/ssd_spec.h"
+#include "obs/observer.h"
 #include "simcore/engine.h"
 #include "simcore/resource.h"
 
@@ -100,6 +101,11 @@ class NvmeSsd {
   /// media corruption; CRC-guarded structures must detect it on read).
   Status corrupt_media(uint32_t nsid, uint64_t offset, uint64_t len);
 
+  /// Installs trace/metrics sinks. Registers this device's counters and
+  /// per-channel backlog gauges under "ssd.<name>." and emits command
+  /// spans on track "ssd/<name>". Pass {} to detach.
+  void set_observer(const obs::Observer& o);
+
   const SsdCounters& counters() const { return counters_; }
   /// Bytes ever written into a namespace (load accounting, Fig. 7(b)).
   uint64_t namespace_bytes_written(uint32_t nsid) const;
@@ -141,6 +147,16 @@ class NvmeSsd {
   SsdCounters counters_;
   uint32_t inject_errors_ = 0;
   bool device_failed_ = false;
+
+  // Observability (all null/empty when detached; see obs/observer.h).
+  obs::Observer obs_;
+  std::string trace_track_;
+  obs::Counter* m_cmds_ = nullptr;
+  obs::Counter* m_bytes_written_ = nullptr;
+  obs::Counter* m_bytes_read_ = nullptr;
+  obs::Counter* m_ram_hits_ = nullptr;
+  obs::Counter* m_ram_misses_ = nullptr;
+  std::vector<obs::Gauge*> m_chan_backlog_;
 };
 
 }  // namespace nvmecr::hw

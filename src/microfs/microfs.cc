@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "hw/payload_store.h"
 #include "microfs/codec.h"
+#include "simcore/trace.h"
 
 namespace nvmecr::microfs {
 
@@ -167,6 +168,28 @@ std::string MicroFs::basename_of(const std::string& path) {
 }
 
 // ---------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------
+
+void MicroFs::set_observer(const obs::Observer& o, const std::string& label) {
+  obs_ = o;
+  trace_track_ = "microfs/" + label;
+  m_pool_allocs_ = nullptr;
+  m_pool_frees_ = nullptr;
+  m_pool_occupancy_ = nullptr;
+  m_bptree_ops_ = nullptr;
+  log_->set_observer(o, label, &engine_);
+  if (obs_.metrics == nullptr) return;
+  // Counters aggregate across instances; the occupancy gauge is per
+  // instance so per-rank imbalance stays visible.
+  m_pool_allocs_ = obs_.metrics->counter("microfs.pool.allocs");
+  m_pool_frees_ = obs_.metrics->counter("microfs.pool.frees");
+  m_bptree_ops_ = obs_.metrics->counter("microfs.bptree.ops");
+  m_pool_occupancy_ =
+      obs_.metrics->gauge("microfs." + label + ".pool_allocated_blocks");
+}
+
+// ---------------------------------------------------------------------
 // Block mapping and data-plane IO
 // ---------------------------------------------------------------------
 
@@ -176,13 +199,20 @@ Status MicroFs::ensure_blocks(Inode& inode, uint64_t end) {
   if (needed > inode.blocks.size()) {
     inode.blocks.resize(needed, kInvalidBlock);
   }
+  uint64_t new_blocks = 0;
   for (uint64_t i = 0; i < needed; ++i) {
     if (inode.blocks[i] == kInvalidBlock) {
       auto block = pool_.alloc();
       if (!block.ok()) return block.status();
       inode.blocks[i] = *block;
       ++pool_version_;
+      ++new_blocks;
     }
+  }
+  if (new_blocks > 0 && m_pool_allocs_ != nullptr) {
+    m_pool_allocs_->add(new_blocks);
+    m_pool_occupancy_->set(engine_.now(),
+                           static_cast<double>(pool_.allocated_count()));
   }
   return OkStatus();
 }
@@ -198,6 +228,7 @@ uint64_t MicroFs::device_offset(const Inode& inode, uint64_t file_off) const {
 sim::Task<Status> MicroFs::hugeblock_io(Inode& inode, uint64_t off,
                                         uint64_t len, bool is_write) {
   if (len == 0) co_return OkStatus();
+  const SimTime io_t0 = engine_.now();
   const uint64_t B = options_.hugeblock_size;
   const uint64_t first_hb = off / B;
   const uint64_t last_hb = (off + len - 1) / B;
@@ -233,6 +264,12 @@ sim::Task<Status> MicroFs::hugeblock_io(Inode& inode, uint64_t off,
       }
     }
     run_start_hb += run_len_hb;
+  }
+  if (obs_.trace != nullptr) {
+    obs_.trace->add_span(trace_track_,
+                         is_write ? "hugeblock_write" : "hugeblock_read",
+                         io_t0, engine_.now(),
+                         {{"bytes", static_cast<double>(len)}});
   }
   co_return OkStatus();
 }
@@ -371,6 +408,7 @@ sim::Task<Status> MicroFs::mkdir(const std::string& path, uint32_t mode) {
   inode.mode = mode;
   inode.uid = options_.uid;
   paths_.insert(path, inode.ino);
+  if (m_bptree_ops_ != nullptr) m_bptree_ops_->add();
 
   LogRecord rec;
   rec.type = OpType::kMkdir;
@@ -396,6 +434,7 @@ sim::Task<StatusOr<int>> MicroFs::open(const std::string& path,
 
   Ino ino = kInvalidIno;
   const Ino* existing = paths_.find(path);
+  if (m_bptree_ops_ != nullptr) m_bptree_ops_->add();
   if (existing == nullptr) {
     if (!flags.create) co_return Result(NotFoundError(path));
     const std::string parent = parent_of(path);
@@ -411,6 +450,7 @@ sim::Task<StatusOr<int>> MicroFs::open(const std::string& path,
     inode.uid = options_.uid;
     inode.seed = mix64(fnv1a(path.data(), path.size()) ^ inode.ino);
     paths_.insert(path, inode.ino);
+    if (m_bptree_ops_ != nullptr) m_bptree_ops_->add();
     ino = inode.ino;
     ++stats_.creates;
 
@@ -444,11 +484,18 @@ sim::Task<StatusOr<int>> MicroFs::open(const std::string& path,
     if (flags.truncate && inode->size > 0) {
       // Truncation is logged as a CREATE of the same ino (replay resets
       // the file), and frees the data blocks in deterministic order.
+      uint64_t freed = 0;
       for (uint64_t b : inode->blocks) {
         if (b != kInvalidBlock) {
           NVMECR_CO_RETURN_IF_ERROR(pool_.free(b));
           ++pool_version_;
+          ++freed;
         }
+      }
+      if (freed > 0 && m_pool_frees_ != nullptr) {
+        m_pool_frees_->add(freed);
+        m_pool_occupancy_->set(engine_.now(),
+                               static_cast<double>(pool_.allocated_count()));
       }
       inode->blocks.clear();
       inode->size = 0;
@@ -508,14 +555,22 @@ sim::Task<Status> MicroFs::unlink(const std::string& path) {
   NVMECR_CO_RETURN_IF_ERROR(
       co_await append_dirent(*inodes_.get(parent_ino), entry));
 
+  uint64_t freed = 0;
   for (uint64_t b : inode->blocks) {
     if (b != kInvalidBlock) {
       NVMECR_CO_RETURN_IF_ERROR(pool_.free(b));
       ++pool_version_;
+      ++freed;
     }
+  }
+  if (freed > 0 && m_pool_frees_ != nullptr) {
+    m_pool_frees_->add(freed);
+    m_pool_occupancy_->set(engine_.now(),
+                           static_cast<double>(pool_.allocated_count()));
   }
   coalesce_candidates_.erase(ino);
   paths_.erase(path);
+  if (m_bptree_ops_ != nullptr) m_bptree_ops_->add();
   NVMECR_CO_RETURN_IF_ERROR(inodes_.free(ino));
   ++stats_.unlinks;
   co_return OkStatus();
@@ -758,6 +813,7 @@ sim::Task<Status> MicroFs::fsync(int fd) {
 sim::Task<Status> MicroFs::checkpoint_state() {
   if (checkpoint_in_flight_) co_return OkStatus();
   checkpoint_in_flight_ = true;
+  const SimTime ckpt_t0 = engine_.now();
 
   // Snapshot boundary: records after this instant carry the new epoch
   // and survive the truncation below.
@@ -805,6 +861,12 @@ sim::Task<Status> MicroFs::checkpoint_state() {
     ++stats_.state_checkpoints;
     stats_.ckpt_bytes_written += buf.size();
   }
+  if (obs_.trace != nullptr) {
+    obs_.trace->add_span(trace_track_, "state_checkpoint", ckpt_t0,
+                         engine_.now(),
+                         {{"bytes", static_cast<double>(buf.size())},
+                          {"epoch", static_cast<double>(epoch)}});
+  }
   checkpoint_in_flight_ = false;
   co_return s;
 }
@@ -823,8 +885,8 @@ void MicroFs::maybe_spawn_checkpoint() {
   engine_.spawn([](MicroFs* fs) -> sim::Task<void> {
     Status s = co_await fs->checkpoint_state();
     if (!s.ok()) {
-      NVMECR_LOG_WARN("background state checkpoint failed: %s",
-                      s.to_string().c_str());
+      NVMECR_SLOG_WARN("microfs", "background state checkpoint failed: %s",
+                       s.to_string().c_str());
     }
   }(this));
 }
@@ -1013,7 +1075,8 @@ sim::Task<StatusOr<std::unique_ptr<MicroFs>>> MicroFs::recover(
   uint64_t prev_lsn = 0;
   for (const auto& [slot, rec] : *scanned) {
     if (prev_lsn != 0 && rec.lsn != prev_lsn + 1) {
-      NVMECR_LOG_WARN(
+      NVMECR_SLOG_WARN(
+          "oplog",
           "operation log hole after lsn %llu; discarding %zu later records",
           static_cast<unsigned long long>(prev_lsn),
           scanned->size() - applied.size());

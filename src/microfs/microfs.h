@@ -36,6 +36,7 @@
 #include "microfs/dirfile.h"
 #include "microfs/inode.h"
 #include "microfs/oplog.h"
+#include "obs/observer.h"
 #include "simcore/engine.h"
 
 namespace nvmecr::microfs {
@@ -199,6 +200,12 @@ class MicroFs {
   int open_file_count() const { return static_cast<int>(open_files_.size()); }
 
   // --- observability ----------------------------------------------------
+  /// Installs trace/metrics sinks on this instance and its operation
+  /// log. `label` distinguishes instances in gauge names and trace
+  /// tracks (e.g. "rank3" -> "microfs.rank3.*", track "microfs/rank3").
+  /// Pass ({}, "") to detach.
+  void set_observer(const obs::Observer& o, const std::string& label);
+
   const MicroFsStats& stats() const { return stats_; }
   const OpLog::Counters& log_counters() const { return log_->counters(); }
   uint32_t log_free_slots() const { return log_->free_slots(); }
@@ -312,6 +319,14 @@ class MicroFs {
   bool checkpoint_in_flight_ = false;
 
   MicroFsStats stats_;
+
+  // Observability (null/empty when detached).
+  obs::Observer obs_;
+  std::string trace_track_;
+  obs::Counter* m_pool_allocs_ = nullptr;
+  obs::Counter* m_pool_frees_ = nullptr;
+  obs::Gauge* m_pool_occupancy_ = nullptr;
+  obs::Counter* m_bptree_ops_ = nullptr;
 };
 
 }  // namespace nvmecr::microfs

@@ -4,6 +4,8 @@
 
 #include "common/crc.h"
 #include "microfs/codec.h"
+#include "simcore/engine.h"
+#include "simcore/trace.h"
 
 namespace nvmecr::microfs {
 
@@ -69,10 +71,32 @@ StatusOr<LogRecord> OpLog::decode_record(std::span<const std::byte> in) {
   return rec;
 }
 
+void OpLog::set_observer(const obs::Observer& o, const std::string& label,
+                         sim::Engine* engine) {
+  obs_ = o;
+  obs_engine_ = engine;
+  trace_track_ = "oplog/" + label;
+  m_appended_ = nullptr;
+  m_coalesced_ = nullptr;
+  m_bytes_ = nullptr;
+  m_forced_full_ = nullptr;
+  m_free_slots_ = nullptr;
+  if (obs_.metrics == nullptr) return;
+  // Counters aggregate across every microfs instance of the run; the
+  // free-slot gauge stays per instance so imbalance is visible.
+  m_appended_ = obs_.metrics->counter("microfs.oplog.appended");
+  m_coalesced_ = obs_.metrics->counter("microfs.oplog.coalesced");
+  m_bytes_ = obs_.metrics->counter("microfs.oplog.bytes_written");
+  m_forced_full_ = obs_.metrics->counter("microfs.oplog.forced_full");
+  m_free_slots_ =
+      obs_.metrics->gauge("microfs." + label + ".oplog_free_slots");
+}
+
 sim::Task<Status> OpLog::write_slot(uint32_t slot, const LogRecord& rec) {
   std::vector<std::byte> buf;
   encode_record(rec, buf);
   counters_.bytes_written += buf.size();
+  if (m_bytes_ != nullptr) m_bytes_->add(buf.size());
   co_return co_await dev_.write(
       region_base_ + static_cast<uint64_t>(slot) * kRecordBytes, buf);
 }
@@ -95,13 +119,21 @@ sim::Task<Status> OpLog::append(LogRecord rec, bool allow_coalesce,
         cand.record.b += rec.b;
         ++counters_.coalesced;
         if (coalesced_out != nullptr) *coalesced_out = true;
-        co_return co_await write_slot(cand.slot, cand.record);
+        if (m_coalesced_ != nullptr) m_coalesced_->add();
+        const SimTime t0 = obs_engine_ != nullptr ? obs_engine_->now() : 0;
+        Status s = co_await write_slot(cand.slot, cand.record);
+        if (obs_.trace != nullptr && obs_engine_ != nullptr) {
+          obs_.trace->add_span(trace_track_, "coalesce", t0,
+                               obs_engine_->now());
+        }
+        co_return s;
       }
     }
   }
 
   if (live_.size() >= slots_) {
     ++counters_.forced_full;
+    if (m_forced_full_ != nullptr) m_forced_full_->add();
     co_return UnavailableError("operation log full");
   }
 
@@ -111,7 +143,19 @@ sim::Task<Status> OpLog::append(LogRecord rec, bool allow_coalesce,
   next_slot_ = (next_slot_ + 1) % slots_;
   live_.push_back(LiveRecord{slot, rec});
   ++counters_.appended;
-  co_return co_await write_slot(slot, live_.back().record);
+  if (m_appended_ != nullptr) m_appended_->add();
+  const SimTime t0 = obs_engine_ != nullptr ? obs_engine_->now() : 0;
+  Status s = co_await write_slot(slot, live_.back().record);
+  if (obs_engine_ != nullptr) {
+    if (obs_.trace != nullptr) {
+      obs_.trace->add_span(trace_track_, "append", t0, obs_engine_->now());
+    }
+    if (m_free_slots_ != nullptr) {
+      m_free_slots_->set(obs_engine_->now(),
+                         static_cast<double>(free_slots()));
+    }
+  }
+  co_return s;
 }
 
 uint32_t OpLog::begin_epoch() { return ++epoch_; }
@@ -119,6 +163,9 @@ uint32_t OpLog::begin_epoch() { return ++epoch_; }
 void OpLog::truncate_before(uint32_t epoch) {
   while (!live_.empty() && live_.front().record.epoch < epoch) {
     live_.pop_front();
+  }
+  if (m_free_slots_ != nullptr && obs_engine_ != nullptr) {
+    m_free_slots_->set(obs_engine_->now(), static_cast<double>(free_slots()));
   }
 }
 

@@ -28,7 +28,12 @@
 
 #include "hw/block_device.h"
 #include "microfs/inode.h"
+#include "obs/observer.h"
 #include "simcore/task.h"
+
+namespace nvmecr::sim {
+class Engine;
+}  // namespace nvmecr::sim
 
 namespace nvmecr::microfs {
 
@@ -122,6 +127,14 @@ class OpLog {
   static void encode_record(const LogRecord& rec, std::vector<std::byte>& out);
   static StatusOr<LogRecord> decode_record(std::span<const std::byte> in);
 
+  /// Installs trace/metrics sinks. Counter names are shared aggregates
+  /// ("microfs.oplog.*") across all instances; the free-slot gauge and
+  /// the trace track ("oplog/<label>") are per instance. The engine is
+  /// passed explicitly because the log itself is clock-free. Pass
+  /// ({}, "", nullptr) to detach.
+  void set_observer(const obs::Observer& o, const std::string& label,
+                    sim::Engine* engine);
+
  private:
   struct LiveRecord {
     uint32_t slot;
@@ -140,6 +153,16 @@ class OpLog {
   uint64_t next_lsn_ = 1;
   uint32_t epoch_ = 1;
   Counters counters_;
+
+  // Observability (null when detached).
+  obs::Observer obs_;
+  sim::Engine* obs_engine_ = nullptr;
+  std::string trace_track_;
+  obs::Counter* m_appended_ = nullptr;
+  obs::Counter* m_coalesced_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  obs::Counter* m_forced_full_ = nullptr;
+  obs::Gauge* m_free_slots_ = nullptr;
 };
 
 }  // namespace nvmecr::microfs

@@ -1,6 +1,18 @@
 #include "nvmecr/cluster.h"
 
+#include "common/log.h"
+
 namespace nvmecr::nvmecr_rt {
+
+namespace {
+/// Logging time source: a captureless bridge from the C callback in
+/// common/log to this cluster's engine.
+uint64_t cluster_log_now(const void* ctx) {
+  const auto* engine = static_cast<const sim::Engine*>(ctx);
+  const SimTime now = engine->now();
+  return now > 0 ? static_cast<uint64_t>(now) : 0;
+}
+}  // namespace
 
 Cluster::Cluster(ClusterSpec spec)
     : spec_(spec),
@@ -25,6 +37,25 @@ Cluster::Cluster(ClusterSpec spec)
           engine_, spec.ssd, "local-nvme" + std::to_string(i)));
     }
   }
+  // Prefix log lines with this cluster's sim clock so they correlate
+  // with trace spans.
+  log_set_time_source(&cluster_log_now, &engine_);
+}
+
+Cluster::~Cluster() {
+  // Detach the logging clock, but only if it is still ours (a nested or
+  // later-built cluster may have replaced it).
+  if (log_time_source_ctx() == &engine_) {
+    log_set_time_source(nullptr, nullptr);
+  }
+}
+
+void Cluster::install_observer(const obs::Observer& o) {
+  observer_ = o;
+  net_.set_observer(o);
+  for (auto& ssd : storage_ssds_) ssd->set_observer(o);
+  for (auto& ssd : local_ssds_) ssd->set_observer(o);
+  for (auto& target : targets_) target->set_observer(o);
 }
 
 uint32_t Cluster::storage_ssd_index(fabric::NodeId node) const {

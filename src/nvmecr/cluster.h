@@ -14,6 +14,7 @@
 #include "hw/nvme_ssd.h"
 #include "nvmecr/balancer.h"
 #include "nvmf/target.h"
+#include "obs/observer.h"
 #include "simcore/engine.h"
 
 namespace nvmecr::nvmecr_rt {
@@ -41,6 +42,7 @@ struct ClusterSpec {
 class Cluster {
  public:
   explicit Cluster(ClusterSpec spec = {});
+  ~Cluster();
 
   sim::Engine& engine() { return engine_; }
   const fabric::Topology& topology() const { return topo_; }
@@ -76,6 +78,14 @@ class Cluster {
     return static_cast<uint64_t>(num_ssds) * spec_.ssd.read_bw;
   }
 
+  /// Installs trace/metrics sinks on the whole testbed — network, every
+  /// SSD, every NVMf target — and keeps a copy that runtime systems
+  /// built on this cluster (NvmecrSystem) pick up for per-rank
+  /// instrumentation. Also points the logging timestamp prefix at this
+  /// cluster's sim clock. Pass {} to detach.
+  void install_observer(const obs::Observer& o);
+  const obs::Observer& observer() const { return observer_; }
+
  private:
   ClusterSpec spec_;
   sim::Engine engine_;
@@ -86,6 +96,7 @@ class Cluster {
   std::vector<std::unique_ptr<hw::NvmeSsd>> storage_ssds_;
   std::vector<std::unique_ptr<nvmf::NvmfTarget>> targets_;
   std::vector<std::unique_ptr<hw::NvmeSsd>> local_ssds_;  // per compute node
+  obs::Observer observer_;
 };
 
 /// A job's storage allocation: the balancer result plus the NVMe

@@ -2,6 +2,7 @@
 
 #include "common/log.h"
 #include "hw/block_device.h"
+#include "simcore/trace.h"
 
 namespace nvmecr::nvmecr_rt {
 
@@ -60,6 +61,20 @@ class NvmecrClient final : public baselines::StorageClient {
   /// §III-C: barrier, MPI_COMM_CR split, then uncoordinated forever.
   sim::Task<Status> init() {
     const auto rank = static_cast<uint32_t>(rank_);
+    // Pick up the cluster-wide observability hookup; per-rank latency
+    // histograms are shared aggregates, trace tracks are per rank.
+    obs_ = system_.cluster_.observer();
+    if (obs_.any()) {
+      trace_track_ = "runtime/rank" + std::to_string(rank_);
+    }
+    if (obs_.metrics != nullptr) {
+      h_create_ = obs_.metrics->histogram("runtime.create_ns");
+      h_write_ = obs_.metrics->histogram("runtime.write_ns");
+      h_read_ = obs_.metrics->histogram("runtime.read_ns");
+      h_fsync_ = obs_.metrics->histogram("runtime.fsync_ns");
+      h_close_ = obs_.metrics->histogram("runtime.close_ns");
+    }
+    const SimTime t0 = op_now();
     const JobAllocation& job = system_.job_;
     const uint32_t ssd_index = job.assignment.ssd_of_rank[rank];
     const uint32_t slot = job.assignment.slot_of_rank[rank];
@@ -117,41 +132,66 @@ class NvmecrClient final : public baselines::StorageClient {
         system_.cluster_.engine(), *partition_, system_.config_.fs);
     if (!fs.ok()) co_return fs.status();
     fs_ = std::move(fs).value();
+    if (obs_.any()) {
+      fs_->set_observer(obs_, "rank" + std::to_string(rank_));
+      op_done("connect", t0, nullptr);
+    }
     co_return OkStatus();
   }
 
   sim::Task<StatusOr<int>> create(const std::string& path) override {
+    const SimTime t0 = op_now();
     if (!system_.config_.private_namespace) {
       NVMECR_CO_RETURN_IF_ERROR(co_await global_namespace_create());
     }
-    co_return co_await fs_->creat(path);
+    auto r = co_await fs_->creat(path);
+    op_done("create", t0, h_create_);
+    co_return r;
   }
 
   sim::Task<StatusOr<int>> open_read(const std::string& path) override {
-    co_return co_await fs_->open(path, microfs::OpenFlags::ReadOnly());
+    const SimTime t0 = op_now();
+    auto r = co_await fs_->open(path, microfs::OpenFlags::ReadOnly());
+    op_done("open_read", t0, nullptr);
+    co_return r;
   }
 
   sim::Task<Status> write(int fd, uint64_t len) override {
-    co_return co_await fs_->write_tagged(fd, len);
+    const SimTime t0 = op_now();
+    Status s = co_await fs_->write_tagged(fd, len);
+    op_done("write", t0, h_write_);
+    co_return s;
   }
 
   sim::Task<Status> read(int fd, uint64_t len) override {
-    co_return co_await fs_->read_tagged(fd, len);
+    const SimTime t0 = op_now();
+    Status s = co_await fs_->read_tagged(fd, len);
+    op_done("read", t0, h_read_);
+    co_return s;
   }
 
   sim::Task<Status> fsync(int fd) override {
-    co_return co_await fs_->fsync(fd);
+    const SimTime t0 = op_now();
+    Status s = co_await fs_->fsync(fd);
+    op_done("fsync", t0, h_fsync_);
+    co_return s;
   }
 
   sim::Task<Status> close(int fd) override {
-    co_return co_await fs_->close(fd);
+    const SimTime t0 = op_now();
+    Status s = co_await fs_->close(fd);
+    op_done("close", t0, h_close_);
+    co_return s;
   }
 
   sim::Task<Status> unlink(const std::string& path) override {
+    const SimTime t0 = op_now();
     if (!system_.config_.private_namespace) {
       NVMECR_CO_RETURN_IF_ERROR(co_await global_namespace_create());
     }
-    co_return co_await fs_->unlink(path);
+    Status s = co_await fs_->unlink(path);
+    op_done("unlink", t0, nullptr);
+    co_return s;
   }
 
   microfs::MicroFs& fs() { return *fs_; }
@@ -172,6 +212,19 @@ class NvmecrClient final : public baselines::StorageClient {
     co_return OkStatus();
   }
 
+  SimTime op_now() const { return system_.cluster_.engine().now(); }
+
+  /// Records a per-rank trace span and (optionally) an aggregate latency
+  /// sample for one completed runtime API call. No-op when detached.
+  void op_done(const char* name, SimTime t0, obs::Histogram* h) {
+    if (!obs_.any()) return;
+    const SimTime end = op_now();
+    if (obs_.trace != nullptr) {
+      obs_.trace->add_span(trace_track_, name, t0, end);
+    }
+    if (h != nullptr) h->add(static_cast<double>(end - t0));
+  }
+
   NvmecrSystem& system_;
   int rank_;
   std::unique_ptr<hw::BlockDevice> base_dev_;
@@ -181,6 +234,15 @@ class NvmecrClient final : public baselines::StorageClient {
   hw::NvmeSsd* local_ssd_ = nullptr;
   uint32_t local_nsid_ = 0;
   SimDuration kernel_time_ = 0;
+
+  // Observability (copied from the cluster at init; null when off).
+  obs::Observer obs_;
+  std::string trace_track_;
+  obs::Histogram* h_create_ = nullptr;
+  obs::Histogram* h_write_ = nullptr;
+  obs::Histogram* h_read_ = nullptr;
+  obs::Histogram* h_fsync_ = nullptr;
+  obs::Histogram* h_close_ = nullptr;
 };
 
 NvmecrSystem::NvmecrSystem(Cluster& cluster, JobAllocation job,

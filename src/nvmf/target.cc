@@ -24,66 +24,83 @@ class RemoteDevice final : public hw::BlockDevice {
 
   sim::Task<Status> write(uint64_t offset,
                           std::span<const std::byte> data) override {
+    const SimTime t0 = target_.engine().now();
     co_await request(target_.params().command_bytes + data.size());
     Status s = co_await ssd_view_->write(offset, data);
     co_await response(target_.params().completion_bytes);
+    target_.record_op_span("write", t0, data.size());
     co_return s;
   }
 
   sim::Task<Status> read(uint64_t offset, std::span<std::byte> out) override {
+    const SimTime t0 = target_.engine().now();
     co_await request(target_.params().command_bytes);
     Status s = co_await ssd_view_->read(offset, out);
     co_await response(target_.params().completion_bytes + out.size());
+    target_.record_op_span("read", t0, out.size());
     co_return s;
   }
 
   sim::Task<Status> write_tagged(uint64_t offset, uint64_t len,
                                  uint64_t seed) override {
+    const SimTime t0 = target_.engine().now();
     co_await request(target_.params().command_bytes + len);
     Status s = co_await ssd_view_->write_tagged(offset, len, seed);
     co_await response(target_.params().completion_bytes);
+    target_.record_op_span("write", t0, len);
     co_return s;
   }
 
   sim::Task<StatusOr<uint64_t>> read_tagged(uint64_t offset,
                                             uint64_t len) override {
+    const SimTime t0 = target_.engine().now();
     co_await request(target_.params().command_bytes);
     auto r = co_await ssd_view_->read_tagged(offset, len);
     co_await response(target_.params().completion_bytes + len);
+    target_.record_op_span("read", t0, len);
     co_return r;
   }
 
   sim::Task<Status> flush() override {
+    const SimTime t0 = target_.engine().now();
     co_await request(target_.params().command_bytes);
     Status s = co_await ssd_view_->flush();
     co_await response(target_.params().completion_bytes);
+    target_.record_op_span("flush", t0, 0);
     co_return s;
   }
 
   sim::Task<Status> write_tagged_batch(uint64_t offset, uint64_t len,
                                        uint64_t seed,
                                        uint32_t subcmds) override {
+    const SimTime t0 = target_.engine().now();
     co_await request(target_.params().command_bytes * subcmds + len, subcmds);
     Status s = co_await ssd_view_->write_tagged_batch(offset, len, seed,
                                                       subcmds);
-    co_await response(target_.params().completion_bytes * subcmds);
+    co_await response(target_.params().completion_bytes * subcmds, subcmds);
+    target_.record_op_span("write_batch", t0, len);
     co_return s;
   }
 
   sim::Task<StatusOr<uint64_t>> read_tagged_batch(uint64_t offset,
                                                   uint64_t len,
                                                   uint32_t subcmds) override {
+    const SimTime t0 = target_.engine().now();
     co_await request(target_.params().command_bytes * subcmds, subcmds);
     auto r = co_await ssd_view_->read_tagged_batch(offset, len, subcmds);
-    co_await response(target_.params().completion_bytes * subcmds + len);
+    co_await response(target_.params().completion_bytes * subcmds + len,
+                      subcmds);
+    target_.record_op_span("read_batch", t0, len);
     co_return r;
   }
 
  private:
   /// Initiator CPU, capsule (+ inline data) to the target, poll group;
-  /// `count` commands' worth for batched submissions.
+  /// `count` commands' worth for batched submissions. Inflight (qpair
+  /// depth) accounting opens here and closes in response().
   sim::Task<void> request(uint64_t wire_bytes, uint32_t count = 1) {
     sim::Engine& eng = target_.engine();
+    target_.command_begin(count);
     co_await eng.delay(target_.params().initiator_per_cmd * count);
     co_await target_.network().transfer(client_, target_.node(), wire_bytes);
     const SimTime cpu_done = target_.reserve_poll_group(eng.now(), count);
@@ -91,8 +108,9 @@ class RemoteDevice final : public hw::BlockDevice {
   }
 
   /// Completion (+ read data) back to the initiator.
-  sim::Task<void> response(uint64_t wire_bytes) {
+  sim::Task<void> response(uint64_t wire_bytes, uint32_t count = 1) {
     co_await target_.network().transfer(target_.node(), client_, wire_bytes);
+    target_.command_end(count);
   }
 
   NvmfTarget& target_;
@@ -119,7 +137,47 @@ NvmfTarget::NvmfTarget(sim::Engine& engine, fabric::Network& network,
 
 SimTime NvmfTarget::reserve_poll_group(SimTime arrival, uint32_t count) {
   commands_processed_ += count;
-  return poll_groups_.reserve_after(arrival, count);
+  const SimTime done = poll_groups_.reserve_after(arrival, count);
+  if (m_cmds_ != nullptr) m_cmds_->add(count);
+  if (m_poll_backlog_ != nullptr) {
+    m_poll_backlog_->set(engine_.now(),
+                         static_cast<double>(poll_groups_.backlog()));
+  }
+  return done;
+}
+
+void NvmfTarget::set_observer(const obs::Observer& o) {
+  obs_ = o;
+  trace_track_ = "nvmf/node" + std::to_string(node_);
+  m_cmds_ = nullptr;
+  m_inflight_ = nullptr;
+  m_poll_backlog_ = nullptr;
+  if (obs_.metrics == nullptr) return;
+  const std::string prefix = "nvmf.node" + std::to_string(node_) + ".";
+  m_cmds_ = obs_.metrics->counter(prefix + "commands");
+  m_inflight_ = obs_.metrics->gauge(prefix + "qpair_depth");
+  m_poll_backlog_ = obs_.metrics->gauge(prefix + "poll_backlog_ns");
+}
+
+void NvmfTarget::command_begin(uint32_t count) {
+  inflight_ += count;
+  if (m_inflight_ != nullptr) {
+    m_inflight_->set(engine_.now(), static_cast<double>(inflight_));
+  }
+}
+
+void NvmfTarget::command_end(uint32_t count) {
+  inflight_ = inflight_ >= count ? inflight_ - count : 0;
+  if (m_inflight_ != nullptr) {
+    m_inflight_->set(engine_.now(), static_cast<double>(inflight_));
+  }
+}
+
+void NvmfTarget::record_op_span(const char* name, SimTime start,
+                                uint64_t bytes) {
+  if (obs_.trace == nullptr) return;
+  obs_.trace->add_span(trace_track_, name, start, engine_.now(),
+                       {{"bytes", static_cast<double>(bytes)}});
 }
 
 StatusOr<uint32_t> NvmfTarget::acquire_queue() {

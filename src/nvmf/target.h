@@ -16,13 +16,16 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "fabric/network.h"
 #include "hw/block_device.h"
 #include "hw/nvme_ssd.h"
+#include "obs/observer.h"
 #include "simcore/resource.h"
+#include "simcore/trace.h"
 
 namespace nvmecr::nvmf {
 
@@ -72,6 +75,19 @@ class NvmfTarget {
   StatusOr<uint32_t> acquire_queue();
   void release_queue(uint32_t queue_id);
 
+  /// Installs trace/metrics sinks: a command counter and inflight/
+  /// poll-backlog gauges under "nvmf.node<N>.", plus per-operation spans
+  /// on track "nvmf/node<N>". Pass {} to detach.
+  void set_observer(const obs::Observer& o);
+
+  /// Inflight (qpair depth) accounting, called by the initiator-side
+  /// device around each command exchange.
+  void command_begin(uint32_t count);
+  void command_end(uint32_t count);
+
+  /// Records one initiator-visible operation span (no-op untraced).
+  void record_op_span(const char* name, SimTime start, uint64_t bytes);
+
  private:
   sim::Engine& engine_;
   fabric::Network& network_;
@@ -85,6 +101,14 @@ class NvmfTarget {
   /// (queue id, connections using it); shared once the budget runs out.
   std::vector<std::pair<uint32_t, uint32_t>> queue_refs_;
   uint32_t next_shared_ = 0;
+
+  // Observability (null/empty when detached).
+  obs::Observer obs_;
+  std::string trace_track_;
+  obs::Counter* m_cmds_ = nullptr;
+  obs::Gauge* m_inflight_ = nullptr;
+  obs::Gauge* m_poll_backlog_ = nullptr;
+  uint32_t inflight_ = 0;
 };
 
 }  // namespace nvmecr::nvmf

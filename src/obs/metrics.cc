@@ -1,0 +1,214 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "simcore/trace.h"
+
+namespace nvmecr::obs {
+
+double Gauge::timeline_mean() const {
+  if (points_.empty()) return 0.0;
+  double s = 0.0;
+  for (const GaugePoint& p : points_) s += p.value;
+  return s / static_cast<double>(points_.size());
+}
+
+void Gauge::record(SimTime now) {
+  if (!points_.empty() && now - points_.back().at < gap_) {
+    // Inside the throttle window: slide the newest point forward instead
+    // of growing the timeline, so the latest level is still represented.
+    points_.back().at = now;
+    points_.back().value = value_;
+    return;
+  }
+  points_.push_back(GaugePoint{now, value_});
+  if (points_.size() >= kMaxPoints) {
+    // Keep every other point and double the gap; repeated overflows
+    // converge on a timeline whose resolution matches the run length.
+    size_t w = 0;
+    for (size_t r = 0; r < points_.size(); r += 2) points_[w++] = points_[r];
+    points_.resize(w);
+    gap_ = gap_ == 0 ? kMicrosecond : gap_ * 2;
+  }
+}
+
+void Histogram::add(double v) {
+  stats_.add(v);
+  const double clamped = v < 0.0 ? 0.0 : v;
+  const auto iv = static_cast<uint64_t>(clamped);
+  const auto bucket = static_cast<size_t>(std::bit_width(iv));
+  buckets_[std::min(bucket, kBuckets - 1)]++;
+}
+
+double Histogram::percentile(double p) const {
+  const uint64_t n = stats_.count();
+  if (n == 0) return 0.0;
+  if (p <= 0.0) return stats_.min();
+  if (p >= 100.0) return stats_.max();
+  const auto rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(n));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > rank) {
+      // Bucket i covers [2^(i-1), 2^i); report its midpoint clamped to
+      // the exact observed range.
+      const double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+      const double hi = std::ldexp(1.0, static_cast<int>(i));
+      const double mid = (lo + hi) / 2.0;
+      return std::clamp(mid, stats_.min(), stats_.max());
+    }
+  }
+  return stats_.max();
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second.get() : nullptr;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second.get() : nullptr;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it != histograms_.end() ? it->second.get() : nullptr;
+}
+
+void MetricsRegistry::export_gauges_to_trace(sim::TraceCollector& trace) const {
+  for (const auto& [name, gauge] : gauges_) {
+    const size_t dot = name.rfind('.');
+    const std::string track =
+        dot == std::string::npos ? std::string("gauges") : name.substr(0, dot);
+    const std::string series =
+        dot == std::string::npos ? name : name.substr(dot + 1);
+    for (const GaugePoint& p : gauge->timeline()) {
+      trace.add_counter(track, series, p.at, p.value);
+    }
+  }
+}
+
+std::string MetricsRegistry::to_csv() const {
+  std::string out = "kind,name,count,value,mean,min,max,p50,p95,p99\n";
+  char line[512];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(line, sizeof(line), "counter,%s,1,%llu,,,,,,\n", name.c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    out += line;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(line, sizeof(line),
+                  "gauge,%s,%zu,%.17g,%.17g,,%.17g,,,\n", name.c_str(),
+                  g->timeline().size(), g->value(), g->timeline_mean(),
+                  g->max());
+    out += line;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(line, sizeof(line),
+                  "histogram,%s,%llu,,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g\n",
+                  name.c_str(), static_cast<unsigned long long>(h->count()),
+                  h->mean(), h->min(), h->max(), h->percentile(50),
+                  h->percentile(95), h->percentile(99));
+    out += line;
+  }
+  for (const auto& [name, g] : gauges_) {
+    for (const GaugePoint& p : g->timeline()) {
+      std::snprintf(line, sizeof(line), "sample,%s,%lld,%.17g\n", name.c_str(),
+                    static_cast<long long>(p.at), p.value);
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  char line[512];
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(line, sizeof(line), "%s\n    \"%s\": %llu",
+                  first ? "" : ",", sim::json_escape(name).c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    out += line;
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(line, sizeof(line),
+                  "%s\n    \"%s\": {\"value\": %.17g, \"max\": %.17g, "
+                  "\"points\": [",
+                  first ? "" : ",", sim::json_escape(name).c_str(), g->value(),
+                  g->max());
+    out += line;
+    bool first_pt = true;
+    for (const GaugePoint& p : g->timeline()) {
+      std::snprintf(line, sizeof(line), "%s[%lld,%.17g]", first_pt ? "" : ",",
+                    static_cast<long long>(p.at), p.value);
+      out += line;
+      first_pt = false;
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(line, sizeof(line),
+                  "%s\n    \"%s\": {\"count\": %llu, \"mean\": %.17g, "
+                  "\"min\": %.17g, \"max\": %.17g, \"p50\": %.17g, "
+                  "\"p95\": %.17g, \"p99\": %.17g}",
+                  first ? "" : ",", sim::json_escape(name).c_str(),
+                  static_cast<unsigned long long>(h->count()), h->mean(),
+                  h->min(), h->max(), h->percentile(50), h->percentile(95),
+                  h->percentile(99));
+    out += line;
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+namespace {
+bool write_string(const std::string& path, const std::string& body) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+}  // namespace
+
+bool MetricsRegistry::write_csv(const std::string& path) const {
+  return write_string(path, to_csv());
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  return write_string(path, to_json());
+}
+
+}  // namespace nvmecr::obs

@@ -1,0 +1,160 @@
+// Metrics registry for simulation runs.
+//
+// Three metric kinds, all keyed by dotted names following the scheme
+// "<subsystem>.<instance?>.<metric>" (see DESIGN.md §Observability):
+//
+//   * Counter   — monotonically increasing uint64 (events, bytes).
+//   * Gauge     — instantaneous level sampled into a sim-time timeline
+//                 (queue depth, pool occupancy, backlog). Sampling is
+//                 event-driven and self-throttling: a run never produces
+//                 more than ~kMaxPoints points per gauge regardless of
+//                 update rate, so hot paths can update unconditionally.
+//   * Histogram — log2-bucketed distribution with exact Welford moments
+//                 (common/stats.h) and approximate percentiles; used for
+//                 latencies in nanoseconds.
+//
+// Metric objects are owned by the registry behind stable pointers:
+// instruments look a metric up once (`registry->counter("...")`) and cache
+// the raw pointer, so steady-state updates are a single add/store with no
+// map lookup. The registry's maps are ordered, which makes the JSON/CSV
+// snapshots deterministic: two identical sim runs serialize byte-for-byte
+// identically.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace nvmecr::sim {
+class TraceCollector;
+}  // namespace nvmecr::sim
+
+namespace nvmecr::obs {
+
+/// Monotonic event/byte counter.
+class Counter {
+ public:
+  void add(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// One sampled point of a gauge timeline.
+struct GaugePoint {
+  SimTime at;
+  double value;
+};
+
+/// Instantaneous level with a bounded sim-time timeline.
+///
+/// set()/add() always update the live value; whether a timeline point is
+/// recorded is throttled by a minimum gap that starts at zero (record
+/// everything) and doubles each time the point cap is hit, halving the
+/// stored timeline. Updates inside the gap overwrite the newest point so
+/// the final level before a quiet period is never lost.
+class Gauge {
+ public:
+  void set(SimTime now, double v) {
+    value_ = v;
+    if (v > max_) max_ = v;
+    record(now);
+  }
+  void add(SimTime now, double delta) { set(now, value_ + delta); }
+
+  double value() const { return value_; }
+  /// High-water mark over the whole run (exact, not subject to sampling).
+  double max() const { return max_; }
+  const std::vector<GaugePoint>& timeline() const { return points_; }
+
+  /// Mean of the recorded timeline points (sampling-weighted, for the
+  /// CSV snapshot; not a true time-weighted mean).
+  double timeline_mean() const;
+
+ private:
+  static constexpr size_t kMaxPoints = 4096;
+
+  void record(SimTime now);
+
+  double value_ = 0.0;
+  double max_ = 0.0;
+  SimDuration gap_ = 0;
+  std::vector<GaugePoint> points_;
+};
+
+/// Log2-bucketed distribution with exact streaming moments.
+/// Values are clamped at zero; bucket i holds values v with
+/// bit_width(floor(v)) == i, i.e. [2^(i-1), 2^i).
+class Histogram {
+ public:
+  void add(double v);
+
+  uint64_t count() const { return stats_.count(); }
+  double sum() const { return stats_.sum(); }
+  double mean() const { return stats_.mean(); }
+  double min() const { return stats_.min(); }
+  double max() const { return stats_.max(); }
+  double stdev() const { return stats_.stdev(); }
+
+  /// Percentile in [0, 100] by cumulative bucket walk; exact at the
+  /// extremes (returns min()/max()), bucket-midpoint otherwise.
+  double percentile(double p) const;
+
+  const StreamingStats& stats() const { return stats_; }
+
+ private:
+  static constexpr size_t kBuckets = 64;
+  StreamingStats stats_;
+  std::array<uint64_t, kBuckets> buckets_{};
+};
+
+/// Owns all metrics of one run. Lookup creates on first use; returned
+/// pointers stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  /// Read-only lookups (nullptr when absent) for tests and reports.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Converts every gauge timeline into "ph":"C" counter events so the
+  /// trace shows queue depths / occupancy as Perfetto counter tracks.
+  /// Track name is the gauge name up to the last '.', counter name the
+  /// final component.
+  void export_gauges_to_trace(sim::TraceCollector& trace) const;
+
+  /// CSV snapshot. Summary section (one row per metric):
+  ///   kind,name,count,value,mean,min,max,p50,p95,p99
+  /// followed by gauge timelines:
+  ///   sample,<name>,<sim_ns>,<value>
+  std::string to_csv() const;
+
+  /// JSON snapshot {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string to_json() const;
+
+  bool write_csv(const std::string& path) const;
+  bool write_json(const std::string& path) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace nvmecr::obs

@@ -1,0 +1,31 @@
+// The observability hookup handed to instrumented subsystems.
+//
+// An Observer is a pair of non-owning pointers — a trace collector and a
+// metrics registry — either of which may be null. Subsystems keep a copy
+// and guard every use:
+//
+//   if (obs_.trace != nullptr) { sim::TraceSpan span(obs_.trace, ...); }
+//   if (write_cmds_ != nullptr) write_cmds_->add();
+//
+// so instrumentation costs nothing (a pointer test) when observability is
+// off, which is the default everywhere. Cache raw Counter*/Gauge*
+// pointers at set_observer() time, not per event: registry lookups are
+// map-based and belong outside hot paths.
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace nvmecr::sim {
+class TraceCollector;
+}  // namespace nvmecr::sim
+
+namespace nvmecr::obs {
+
+struct Observer {
+  sim::TraceCollector* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+
+  bool any() const { return trace != nullptr || metrics != nullptr; }
+};
+
+}  // namespace nvmecr::obs

@@ -1,0 +1,70 @@
+#include "obs/run_report.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace nvmecr::obs {
+
+namespace {
+
+/// Matches "--flag PATH" / "--flag=PATH"; advances *i past a consumed
+/// value argument. Returns true and fills `out` on a match.
+bool match_path_flag(int argc, char** argv, int* i, const char* flag,
+                     std::string* out) {
+  const char* arg = argv[*i];
+  const size_t flag_len = std::strlen(flag);
+  if (std::strncmp(arg, flag, flag_len) != 0) return false;
+  if (arg[flag_len] == '=') {
+    *out = arg + flag_len + 1;
+    return true;
+  }
+  if (arg[flag_len] == '\0' && *i + 1 < argc) {
+    *out = argv[++*i];
+    return true;
+  }
+  return false;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+RunReport RunReport::from_args(int argc, char** argv) {
+  RunReport report;
+  for (int i = 1; i < argc; ++i) {
+    if (match_path_flag(argc, argv, &i, "--trace", &report.trace_path_)) {
+      continue;
+    }
+    match_path_flag(argc, argv, &i, "--metrics", &report.metrics_path_);
+  }
+  return report;
+}
+
+void RunReport::finish() {
+  if (trace_enabled()) {
+    metrics_.export_gauges_to_trace(trace_);
+    if (trace_.write(trace_path_)) {
+      std::printf("trace: wrote %zu events to %s\n", trace_.size(),
+                  trace_path_.c_str());
+    } else {
+      std::fprintf(stderr, "trace: failed to write %s\n", trace_path_.c_str());
+    }
+  }
+  if (metrics_enabled()) {
+    const bool ok = ends_with(metrics_path_, ".json")
+                        ? metrics_.write_json(metrics_path_)
+                        : metrics_.write_csv(metrics_path_);
+    if (ok) {
+      std::printf("metrics: wrote %zu series to %s\n", metrics_.size(),
+                  metrics_path_.c_str());
+    } else {
+      std::fprintf(stderr, "metrics: failed to write %s\n",
+                   metrics_path_.c_str());
+    }
+  }
+}
+
+}  // namespace nvmecr::obs

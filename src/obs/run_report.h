@@ -1,0 +1,63 @@
+// RunReport: command-line glue tying a TraceCollector and MetricsRegistry
+// to output files for examples and bench binaries.
+//
+//   int main(int argc, char** argv) {
+//     obs::RunReport report = obs::RunReport::from_args(argc, argv);
+//     Cluster cluster(...);
+//     cluster.install_observer(report.observer());
+//     ... run ...
+//     report.finish();   // writes --trace / --metrics outputs
+//   }
+//
+// Recognised flags (both "--flag PATH" and "--flag=PATH" forms):
+//   --trace PATH     write a Perfetto-loadable trace JSON
+//   --metrics PATH   write a metrics snapshot (CSV, or JSON when PATH
+//                    ends in ".json")
+//
+// When neither flag is given, observer() is all-null and instrumentation
+// throughout the stack stays disabled.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "simcore/trace.h"
+
+namespace nvmecr::obs {
+
+class RunReport {
+ public:
+  /// Scans argv for --trace / --metrics. Unrecognised arguments are left
+  /// for the caller to interpret.
+  static RunReport from_args(int argc, char** argv);
+
+  bool trace_enabled() const { return !trace_path_.empty(); }
+  bool metrics_enabled() const { return !metrics_path_.empty(); }
+  bool enabled() const { return trace_enabled() || metrics_enabled(); }
+
+  /// Pointers into this report's collector/registry, or nulls for any
+  /// output that was not requested.
+  Observer observer() {
+    Observer o;
+    if (trace_enabled()) o.trace = &trace_;
+    if (metrics_enabled() || trace_enabled()) o.metrics = &metrics_;
+    return o;
+  }
+
+  sim::TraceCollector& trace() { return trace_; }
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// Exports gauge timelines into the trace as counter tracks, then
+  /// writes any requested files. Prints one line per file written (or a
+  /// warning on failure). Safe to call when nothing was requested.
+  void finish();
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  sim::TraceCollector trace_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace nvmecr::obs

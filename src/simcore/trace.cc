@@ -6,6 +6,46 @@
 
 namespace nvmecr::sim {
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 std::string TraceCollector::to_json() const {
   // Stable tid assignment per track, in first-appearance order.
   std::map<std::string, int> tids;
@@ -14,33 +54,62 @@ std::string TraceCollector::to_json() const {
   }
 
   std::string out = "[\n";
-  char line[512];
+  char line[256];
   bool first = true;
   for (const auto& [track, tid] : tids) {
     std::snprintf(line, sizeof(line),
                   "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
-                  "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
-                  first ? "" : ",\n", tid, track.c_str());
+                  "\"tid\":%d,\"args\":{\"name\":\"",
+                  first ? "" : ",\n", tid);
     out += line;
+    out += json_escape(track);
+    out += "\"}}";
     first = false;
   }
   for (const Event& e : events_) {
     const double ts_us = static_cast<double>(e.start) / 1e3;
-    if (e.end > e.start) {
-      const double dur_us = static_cast<double>(e.end - e.start) / 1e3;
-      std::snprintf(line, sizeof(line),
-                    "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
-                    "\"ts\":%.3f,\"dur\":%.3f}",
-                    first ? "" : ",\n", e.name.c_str(), tids.at(e.track),
-                    ts_us, dur_us);
-    } else {
-      std::snprintf(line, sizeof(line),
-                    "%s{\"name\":\"%s\",\"ph\":\"i\",\"pid\":1,\"tid\":%d,"
-                    "\"ts\":%.3f,\"s\":\"t\"}",
-                    first ? "" : ",\n", e.name.c_str(), tids.at(e.track),
-                    ts_us);
+    out += first ? "" : ",\n";
+    out += "{\"name\":\"";
+    out += json_escape(e.name);
+    out += "\"";
+    switch (e.kind) {
+      case Kind::kSpan: {
+        const double dur_us = static_cast<double>(e.end - e.start) / 1e3;
+        std::snprintf(line, sizeof(line),
+                      ",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                      "\"ts\":%.3f,\"dur\":%.3f",
+                      tids.at(e.track), ts_us, dur_us);
+        out += line;
+        if (!e.args.empty()) {
+          out += ",\"args\":{";
+          bool first_arg = true;
+          for (const auto& [key, value] : e.args) {
+            out += first_arg ? "\"" : ",\"";
+            out += json_escape(key);
+            std::snprintf(line, sizeof(line), "\":%.17g", value);
+            out += line;
+            first_arg = false;
+          }
+          out += "}";
+        }
+        break;
+      }
+      case Kind::kInstant:
+        std::snprintf(line, sizeof(line),
+                      ",\"ph\":\"i\",\"pid\":1,\"tid\":%d,"
+                      "\"ts\":%.3f,\"s\":\"t\"",
+                      tids.at(e.track), ts_us);
+        out += line;
+        break;
+      case Kind::kCounter:
+        std::snprintf(line, sizeof(line),
+                      ",\"ph\":\"C\",\"pid\":1,\"tid\":%d,"
+                      "\"ts\":%.3f,\"args\":{\"value\":%.17g}",
+                      tids.at(e.track), ts_us, e.value);
+        out += line;
+        break;
     }
-    out += line;
+    out += "}";
     first = false;
   }
   out += "\n]\n";

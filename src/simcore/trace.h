@@ -3,37 +3,66 @@
 // Actors annotate spans around interesting operations; the collector
 // writes the standard Trace Event Format so a run can be inspected
 // visually (device occupancy, per-rank checkpoint phases, metadata
-// stalls). Tracing is opt-in and zero-cost when no collector is
+// stalls). Three event kinds are supported:
+//   * complete spans   ("ph":"X")  — an operation with a duration
+//   * instant markers  ("ph":"i")  — a point event
+//   * counter samples  ("ph":"C")  — a named time series Perfetto renders
+//                                    as a counter track (queue depths,
+//                                    pool occupancy, backlog)
+// Spans may carry numeric args ({"bytes":..., "cmds":...}) shown in the
+// Perfetto detail pane. All names and track labels are JSON-escaped, so
+// hostile names (quotes, backslashes, control characters) still produce
+// a loadable trace. Tracing is opt-in and zero-cost when no collector is
 // installed.
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/units.h"
 
 namespace nvmecr::sim {
 
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, and control characters).
+std::string json_escape(const std::string& s);
+
 class TraceCollector {
  public:
+  /// Numeric key/value pairs attached to a span ("args" in the event).
+  using Args = std::vector<std::pair<std::string, double>>;
+
   /// Records a complete span (microsecond granularity in the output;
   /// the engine's nanoseconds are preserved as fractional us).
   void add_span(const std::string& track, const std::string& name,
                 SimTime start, SimTime end) {
-    events_.push_back(Event{track, name, start, end});
+    events_.push_back(Event{Kind::kSpan, track, name, start, end, 0.0, {}});
+  }
+  void add_span(const std::string& track, const std::string& name,
+                SimTime start, SimTime end, Args args) {
+    events_.push_back(
+        Event{Kind::kSpan, track, name, start, end, 0.0, std::move(args)});
   }
 
   /// Instantaneous marker.
   void add_instant(const std::string& track, const std::string& name,
                    SimTime at) {
-    events_.push_back(Event{track, name, at, at});
+    events_.push_back(Event{Kind::kInstant, track, name, at, at, 0.0, {}});
+  }
+
+  /// Counter sample: one point of the time series `name` on `track`.
+  /// Consecutive samples of the same name form a counter track.
+  void add_counter(const std::string& track, const std::string& name,
+                   SimTime at, double value) {
+    events_.push_back(Event{Kind::kCounter, track, name, at, at, value, {}});
   }
 
   size_t size() const { return events_.size(); }
   void clear() { events_.clear(); }
 
-  /// Serializes to the Trace Event Format (JSON array of "X"/"i"
+  /// Serializes to the Trace Event Format (JSON array of "X"/"i"/"C"
   /// events; "pid" 1, one "tid" per distinct track in insertion order).
   std::string to_json() const;
 
@@ -41,17 +70,24 @@ class TraceCollector {
   bool write(const std::string& path) const;
 
  private:
+  enum class Kind { kSpan, kInstant, kCounter };
+
   struct Event {
+    Kind kind;
     std::string track;
     std::string name;
     SimTime start;
     SimTime end;
+    double value;  // counter events only
+    Args args;     // span events only
   };
   std::vector<Event> events_;
 };
 
 /// RAII span helper:
 ///   { TraceSpan span(collector, "rank3", "checkpoint", engine); ... }
+/// A null collector makes the span a no-op (the strings are still moved
+/// in, so guard construction in hot paths when tracing is off).
 class TraceSpan {
  public:
   TraceSpan(TraceCollector* collector, std::string track, std::string name,

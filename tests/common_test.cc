@@ -1,9 +1,13 @@
-// Unit tests for the common kit: status, units, rng, stats, crc, table.
+// Unit tests for the common kit: status, units, rng, stats, crc, table,
+// logging.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
+#include <string>
 
 #include "common/crc.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -14,6 +18,43 @@ namespace nvmecr {
 namespace {
 
 using namespace nvmecr::literals;
+
+// ---------------------------------------------------------------------
+// Logging (must run before anything else latches the NVMECR_LOG
+// threshold, which is read once per process)
+// ---------------------------------------------------------------------
+
+uint64_t fake_clock(const void* ctx) {
+  return *static_cast<const uint64_t*>(ctx);
+}
+
+TEST(LogTest, PrefixesSimTimeAndSubsystem) {
+  setenv("NVMECR_LOG", "warn", /*overwrite=*/1);
+  const uint64_t now_ns = 12345678;  // 12.346 ms
+  log_set_time_source(&fake_clock, &now_ns);
+  testing::internal::CaptureStderr();
+  NVMECR_SLOG_WARN("oplog", "ring %d%% full", 93);
+  NVMECR_LOG_WARN("untagged %s", "line");
+  std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[12.346ms] [WARN] [oplog] ring 93% full\n"),
+            std::string::npos)
+      << err;
+  EXPECT_NE(err.find("[12.346ms] [WARN] untagged line\n"), std::string::npos);
+
+  // Without a time source the prefix is omitted entirely.
+  log_set_time_source(nullptr, nullptr);
+  EXPECT_EQ(log_time_source_ctx(), nullptr);
+  testing::internal::CaptureStderr();
+  NVMECR_SLOG_WARN("microfs", "plain");
+  err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err, "[WARN] [microfs] plain\n");
+
+  // Below-threshold levels stay silent.
+  testing::internal::CaptureStderr();
+  NVMECR_LOG_DEBUG("invisible");
+  NVMECR_SLOG_INFO("oplog", "invisible");
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
 
 TEST(StatusTest, DefaultIsOk) {
   Status s;
@@ -178,6 +219,21 @@ TEST(SamplesTest, Percentiles) {
   EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
   EXPECT_NEAR(s.percentile(50), 50.5, 0.01);
   EXPECT_NEAR(s.percentile(99), 99.01, 0.05);
+}
+
+TEST(SamplesTest, QueriesAreConstCorrect) {
+  Samples s;
+  for (int i = 10; i >= 1; --i) s.add(static_cast<double>(i));
+  // min()/max()/percentile() are usable through a const reference (the
+  // lazy sort is an internal mutable detail) and interleave with add().
+  const Samples& cs = s;
+  EXPECT_DOUBLE_EQ(cs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cs.max(), 10.0);
+  EXPECT_DOUBLE_EQ(cs.percentile(0), 1.0);
+  s.add(0.5);  // re-dirties the sort
+  EXPECT_DOUBLE_EQ(cs.min(), 0.5);
+  EXPECT_DOUBLE_EQ(cs.percentile(100), 10.0);
+  EXPECT_EQ(cs.size(), 11u);
 }
 
 TEST(SamplesTest, CovMatchesStreaming) {

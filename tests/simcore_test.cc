@@ -415,6 +415,49 @@ TEST(TraceTest, SpansAndInstantsSerialize) {
   EXPECT_NE(json.find("\"args\":{\"name\":\"device\"}"), std::string::npos);
 }
 
+TEST(TraceTest, HostileNamesProduceValidJson) {
+  TraceCollector trace;
+  // Quotes, backslashes, and control characters in track/name/arg keys
+  // must be escaped, not emitted raw.
+  trace.add_span("rank\"0\"", "write \"a\\b\"\n", 0, 1000,
+                 {{"by\ttes", 42.0}});
+  trace.add_instant("tab\there", "newline\nname", 500);
+  trace.add_counter("c\\track", "dep\"th", 0, 3.0);
+  const std::string json = trace.to_json();
+  // No raw quote-adjacent injection: every '"' inside a value is escaped.
+  EXPECT_EQ(json.find("rank\"0\""), std::string::npos);
+  EXPECT_NE(json.find("rank\\\"0\\\""), std::string::npos);
+  EXPECT_NE(json.find("write \\\"a\\\\b\\\"\\n"), std::string::npos);
+  EXPECT_NE(json.find("by\\ttes"), std::string::npos);
+  EXPECT_NE(json.find("newline\\nname"), std::string::npos);
+  EXPECT_NE(json.find("c\\\\track"), std::string::npos);
+  EXPECT_NE(json.find("dep\\\"th"), std::string::npos);
+  // No raw control characters survive inside any string literal (the
+  // whitespace between events is structural and fine).
+  bool in_string = false;
+  size_t quotes = 0;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) {
+      in_string = !in_string;
+      ++quotes;
+      continue;
+    }
+    if (in_string) EXPECT_GE(static_cast<unsigned char>(c), 0x20);
+  }
+  // Balanced quoting: every string literal was closed.
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(quotes % 2, 0u);
+}
+
+TEST(TraceTest, JsonEscapeEscapesControlAndSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("\n\r\t\b\f"), "\\n\\r\\t\\b\\f");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
 TEST(TraceTest, NullCollectorIsNoop) {
   Engine eng;
   eng.run_task([](Engine& e) -> Task<void> {

@@ -31,10 +31,25 @@ StatusOr<BalancerAssignment> StorageBalancer::assign(
     const fabric::Topology& topo, const BalancerRequest& request,
     bool allow_same_domain) {
   if (request.rank_nodes.empty()) {
-    return InvalidArgumentError("no ranks");
+    return InvalidArgumentError("BalancerRequest.rank_nodes is empty");
   }
   if (request.storage_nodes.empty()) {
-    return InvalidArgumentError("no storage nodes");
+    return InvalidArgumentError("BalancerRequest.storage_nodes is empty");
+  }
+  if (request.num_ssds == 0 && request.min_procs_per_ssd == 0) {
+    return InvalidArgumentError(
+        "BalancerRequest.min_procs_per_ssd must be > 0 when num_ssds is "
+        "derived from it");
+  }
+  for (fabric::NodeId n : request.rank_nodes) {
+    if (n >= topo.node_count()) {
+      return InvalidArgumentError("rank node out of topology range");
+    }
+  }
+  for (fabric::NodeId n : request.storage_nodes) {
+    if (n >= topo.node_count()) {
+      return InvalidArgumentError("storage node out of topology range");
+    }
   }
   const auto nranks = static_cast<uint32_t>(request.rank_nodes.size());
 
@@ -43,7 +58,7 @@ StatusOr<BalancerAssignment> StorageBalancer::assign(
   uint32_t num_ssds = request.num_ssds;
   if (num_ssds == 0) {
     num_ssds = std::max<uint32_t>(
-        1, ceil_div(nranks, std::max<uint32_t>(1, request.min_procs_per_ssd)));
+        1, ceil_div(nranks, request.min_procs_per_ssd));
   }
   num_ssds = std::min<uint32_t>(
       num_ssds, static_cast<uint32_t>(request.storage_nodes.size()));

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "baselines/storage_api.h"
+#include "obs/observer.h"
 #include "simcore/engine.h"
 
 namespace nvmecr::nvmecr_rt {
@@ -82,10 +83,12 @@ class CachedClient final : public baselines::StorageClient {
       // Cache hit: DRAM copy instead of device + fabric.
       touch(entry->first, entry->second);
       stats_.hit_bytes += len;
+      if (hit_bytes_ctr_ != nullptr) hit_bytes_ctr_->add(len);
       co_await engine_.delay(transfer_time(len, dram_bw_));
       co_return OkStatus();
     }
     stats_.miss_bytes += len;
+    if (miss_bytes_ctr_ != nullptr) miss_bytes_ctr_->add(len);
     Status s = co_await inner_->read(fd, len);
     if (s.ok()) {
       co_await engine_.delay(transfer_time(len, dram_bw_));
@@ -128,6 +131,26 @@ class CachedClient final : public baselines::StorageClient {
 
   const CacheStats& stats() const { return stats_; }
   uint64_t capacity() const { return capacity_; }
+
+  /// Publishes cache activity into the metrics registry (counters
+  /// cache.hit_bytes / cache.miss_bytes / cache.evictions, gauge
+  /// cache.resident_bytes). Instruments are cached here per the
+  /// observer contract; pass {} to detach.
+  void set_observer(const obs::Observer& o) {
+    if (o.metrics != nullptr) {
+      hit_bytes_ctr_ = o.metrics->counter("cache.hit_bytes");
+      miss_bytes_ctr_ = o.metrics->counter("cache.miss_bytes");
+      evictions_ctr_ = o.metrics->counter("cache.evictions");
+      resident_gauge_ = o.metrics->gauge("cache.resident_bytes");
+      resident_gauge_->set(engine_.now(),
+                           static_cast<double>(stats_.resident_bytes));
+    } else {
+      hit_bytes_ctr_ = nullptr;
+      miss_bytes_ctr_ = nullptr;
+      evictions_ctr_ = nullptr;
+      resident_gauge_ = nullptr;
+    }
+  }
 
  private:
   struct OpenFile {
@@ -174,7 +197,9 @@ class CachedClient final : public baselines::StorageClient {
       stats_.resident_bytes -= v->second.bytes;
       entries_.erase(v);
       ++stats_.evictions;
+      if (evictions_ctr_ != nullptr) evictions_ctr_->add();
     }
+    sync_resident_gauge();
   }
 
   void invalidate(const std::string& path) {
@@ -183,6 +208,14 @@ class CachedClient final : public baselines::StorageClient {
     stats_.resident_bytes -= it->second.bytes;
     lru_.erase(it->second.lru_pos);
     entries_.erase(it);
+    sync_resident_gauge();
+  }
+
+  void sync_resident_gauge() {
+    if (resident_gauge_ != nullptr) {
+      resident_gauge_->set(engine_.now(),
+                           static_cast<double>(stats_.resident_bytes));
+    }
   }
 
   sim::Engine& engine_;
@@ -193,6 +226,12 @@ class CachedClient final : public baselines::StorageClient {
   std::list<std::string> lru_;  // front = most recent
   std::map<int, OpenFile> open_;
   CacheStats stats_;
+
+  // Cached metric instruments (null when observability is off).
+  obs::Counter* hit_bytes_ctr_ = nullptr;
+  obs::Counter* miss_bytes_ctr_ = nullptr;
+  obs::Counter* evictions_ctr_ = nullptr;
+  obs::Gauge* resident_gauge_ = nullptr;
 };
 
 }  // namespace nvmecr::nvmecr_rt

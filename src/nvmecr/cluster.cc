@@ -19,7 +19,13 @@ Cluster::Cluster(ClusterSpec spec)
       topo_([&] {
         fabric::Topology t;
         t.add_rack(spec.compute_nodes, fabric::NodeRole::kCompute, "compute");
-        t.add_rack(spec.storage_nodes, fabric::NodeRole::kStorage, "storage");
+        const uint32_t racks = std::max<uint32_t>(1, spec.storage_racks);
+        for (uint32_t r = 0; r < racks; ++r) {
+          // Spread storage nodes over the racks; remainder to the front.
+          const uint32_t count =
+              spec.storage_nodes / racks + (r < spec.storage_nodes % racks);
+          if (count > 0) t.add_rack(count, fabric::NodeRole::kStorage, "storage");
+        }
         return t;
       }()),
       net_(engine_, topo_, spec.network) {
@@ -94,7 +100,23 @@ StatusOr<JobAllocation> Scheduler::allocate(uint32_t nranks,
   NVMECR_ASSIGN_OR_RETURN(job.assignment,
                           StorageBalancer::assign(cluster_.topology(),
                                                   request));
+  NVMECR_RETURN_IF_ERROR(create_namespaces(job));
+  return job;
+}
 
+StatusOr<JobAllocation> Scheduler::allocate_with_assignment(
+    BalancerAssignment assignment, std::vector<fabric::NodeId> rank_nodes,
+    uint32_t procs_per_node, uint64_t partition_bytes) {
+  JobAllocation job;
+  job.assignment = std::move(assignment);
+  job.rank_nodes = std::move(rank_nodes);
+  job.procs_per_node = procs_per_node;
+  job.partition_bytes = partition_bytes;
+  NVMECR_RETURN_IF_ERROR(create_namespaces(job));
+  return job;
+}
+
+Status Scheduler::create_namespaces(JobAllocation& job) {
   // One namespace per allocated SSD, sized for its share of ranks. If an
   // SSD lacks free namespaces or space the whole allocation is rolled
   // back (jobs are all-or-nothing).
@@ -103,7 +125,8 @@ StatusOr<JobAllocation> Scheduler::allocate(uint32_t nranks,
         cluster_.storage_ssd(cluster_.storage_ssd_index(
             job.assignment.ssd_nodes[s]));
     const uint64_t bytes =
-        partition_bytes * std::max<uint32_t>(1, job.assignment.ranks_per_ssd[s]);
+        job.partition_bytes *
+        std::max<uint32_t>(1, job.assignment.ranks_per_ssd[s]);
     auto nsid = ssd.create_namespace(bytes);
     if (!nsid.ok()) {
       release(job);
@@ -111,7 +134,7 @@ StatusOr<JobAllocation> Scheduler::allocate(uint32_t nranks,
     }
     job.nsid_per_ssd.push_back(*nsid);
   }
-  return job;
+  return OkStatus();
 }
 
 void Scheduler::release(const JobAllocation& job) {

@@ -24,6 +24,10 @@ using namespace nvmecr::literals;
 struct ClusterSpec {
   uint32_t compute_nodes = 16;
   uint32_t storage_nodes = 8;
+  /// Racks the storage nodes are spread over (round-robin remainder to
+  /// the front racks). 1 reproduces the paper's single storage rack;
+  /// redundancy schemes need >= 2 distinct storage failure domains.
+  uint32_t storage_racks = 1;
   uint32_t cores_per_node = 28;
   hw::SsdSpec ssd;                 // per storage node
   fabric::NetworkParams network;
@@ -121,11 +125,20 @@ class Scheduler {
                                    uint64_t partition_bytes,
                                    uint32_t num_ssds = 0);
 
+  /// Allocates namespaces for an externally computed placement (the
+  /// redundancy engine plans replica/parity placement itself and only
+  /// needs the scheduler to carve the namespaces).
+  StatusOr<JobAllocation> allocate_with_assignment(
+      BalancerAssignment assignment, std::vector<fabric::NodeId> rank_nodes,
+      uint32_t procs_per_node, uint64_t partition_bytes);
+
   /// Deletes the job's namespaces (the runtime is ephemeral — it
   /// terminates with the job, §I).
   void release(const JobAllocation& job);
 
  private:
+  Status create_namespaces(JobAllocation& job);
+
   Cluster& cluster_;
 };
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "baselines/storage_api.h"
 
@@ -29,8 +30,8 @@ class MultiLevelPolicy {
   uint32_t interval_;
 };
 
-/// Routes checkpoint IO between the two tiers per the policy. Both
-/// clients belong to the same rank; the caller owns them.
+/// Routes checkpoint IO between the tiers per the policy. All clients
+/// belong to the same rank; the caller owns them.
 class MultiLevelRouter {
  public:
   MultiLevelRouter(baselines::StorageClient& fast,
@@ -42,15 +43,38 @@ class MultiLevelRouter {
   }
   const MultiLevelPolicy& policy() const { return policy_; }
 
+  /// Installs the redundancy engine's reconstruction view (a client whose
+  /// reads rebuild lost fast-tier files from partner replicas or XOR
+  /// survivors; see redundancy::Reconstructor). With it installed the
+  /// restart fallback chain becomes fast -> reconstructed -> PFS.
+  void set_reconstructed(baselines::StorageClient* reconstructed) {
+    reconstructed_ = reconstructed;
+  }
+  bool has_reconstructed() const { return reconstructed_ != nullptr; }
+
   /// Recovery always prefers the fast tier (it holds the newest
-  /// checkpoint unless the failure destroyed it).
+  /// checkpoint unless the failure destroyed it). When the fast tier is
+  /// lost, reconstruction — if a redundancy scheme provisioned it — comes
+  /// before the PFS copy (which is older and slower to read).
   baselines::StorageClient& recovery_level(bool fast_tier_lost) {
-    return fast_tier_lost ? pfs_ : fast_;
+    if (!fast_tier_lost) return fast_;
+    return reconstructed_ != nullptr ? *reconstructed_ : pfs_;
+  }
+
+  /// The full restart fallback chain, newest-first: fast, then the
+  /// reconstructed view when installed, then the PFS tier. Restart walks
+  /// it until one source serves the checkpoint.
+  std::vector<baselines::StorageClient*> recovery_chain() {
+    std::vector<baselines::StorageClient*> chain{&fast_};
+    if (reconstructed_ != nullptr) chain.push_back(reconstructed_);
+    chain.push_back(&pfs_);
+    return chain;
   }
 
  private:
   baselines::StorageClient& fast_;
   baselines::StorageClient& pfs_;
+  baselines::StorageClient* reconstructed_ = nullptr;
   MultiLevelPolicy policy_;
 };
 

@@ -1,0 +1,252 @@
+#include "redundancy/placement.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace nvmecr::redundancy {
+
+using nvmecr_rt::StorageBalancer;
+
+namespace {
+
+/// Picks the least-loaded storage node whose failure domain is in
+/// `allowed` (load = store partitions assigned so far; ties by node id).
+/// Returns -1 when no candidate exists.
+int pick_store_node(const fabric::Topology& topo,
+                    const std::vector<fabric::NodeId>& storage_nodes,
+                    const std::set<fabric::RackId>& allowed,
+                    const std::map<fabric::NodeId, uint32_t>& load) {
+  int best = -1;
+  uint32_t best_load = UINT32_MAX;
+  for (fabric::NodeId n : storage_nodes) {
+    if (allowed.count(topo.failure_domain(n)) == 0) continue;
+    const auto it = load.find(n);
+    const uint32_t l = it == load.end() ? 0 : it->second;
+    if (best < 0 || l < best_load) {
+      best = static_cast<int>(n);
+      best_load = l;
+    }
+  }
+  return best;
+}
+
+/// Appends rank r -> store node n to the plan's assignment, reusing an
+/// existing ssd_nodes entry for n when present.
+void assign_rank(RedundancyPlan& plan, uint32_t rank, fabric::NodeId node) {
+  auto& a = plan.assignment;
+  uint32_t s = 0;
+  for (; s < a.ssd_nodes.size(); ++s) {
+    if (a.ssd_nodes[s] == node) break;
+  }
+  if (s == a.ssd_nodes.size()) {
+    a.ssd_nodes.push_back(node);
+    a.ranks_per_ssd.push_back(0);
+  }
+  a.ssd_of_rank[rank] = s;
+  a.slot_of_rank[rank] = a.ranks_per_ssd[s]++;
+}
+
+StatusOr<RedundancyPlan> plan_partner(
+    const fabric::Topology& topo, const BalancerAssignment& primary,
+    const std::vector<fabric::NodeId>& rank_nodes,
+    const std::vector<fabric::NodeId>& storage_nodes,
+    const RedundancyOptions& opts) {
+  RedundancyPlan plan;
+  plan.scheme = Scheme::kPartner;
+  const auto nranks = static_cast<uint32_t>(rank_nodes.size());
+  plan.assignment.ssd_of_rank.resize(nranks);
+  plan.assignment.slot_of_rank.resize(nranks);
+
+  std::map<fabric::NodeId, uint32_t> load;
+  for (uint32_t r = 0; r < nranks; ++r) {
+    const fabric::NodeId primary_node =
+        primary.ssd_nodes[primary.ssd_of_rank[r]];
+    const fabric::RackId primary_domain = topo.failure_domain(primary_node);
+    const fabric::RackId compute_domain = topo.failure_domain(rank_nodes[r]);
+
+    // Nearest partner domain of the primary that is also outside the
+    // rank's compute domain: losing any one domain leaves either the
+    // primary copy or the replica (and, with the balancer's own
+    // partner-placement, the process) intact.
+    std::set<fabric::RackId> allowed;
+    for (fabric::RackId d :
+         StorageBalancer::partner_domains(topo, primary_domain,
+                                          storage_nodes)) {
+      if (d != compute_domain) allowed.insert(d);
+    }
+    if (allowed.empty() && opts.allow_same_domain) {
+      allowed.insert(primary_domain);
+    }
+    int node = pick_store_node(topo, storage_nodes, allowed, load);
+    if (node < 0) {
+      return InvalidArgumentError(
+          "partner replication needs a storage failure domain outside the "
+          "primary's (ClusterSpec.storage_racks >= 2), or allow_same_domain");
+    }
+    // Never co-locate replica and primary on the same device, even in
+    // allow_same_domain mode, unless it is the only device there is.
+    if (static_cast<fabric::NodeId>(node) == primary_node &&
+        storage_nodes.size() > 1) {
+      std::set<fabric::RackId> all;
+      for (fabric::NodeId n : storage_nodes) all.insert(topo.failure_domain(n));
+      std::map<fabric::NodeId, uint32_t> shadow = load;
+      shadow[primary_node] = UINT32_MAX - 1;
+      node = pick_store_node(topo, storage_nodes, all, shadow);
+    }
+    assign_rank(plan, r, static_cast<fabric::NodeId>(node));
+    ++load[static_cast<fabric::NodeId>(node)];
+  }
+  return plan;
+}
+
+StatusOr<RedundancyPlan> plan_xor(
+    const fabric::Topology& topo, const BalancerAssignment& primary,
+    const std::vector<fabric::NodeId>& rank_nodes,
+    const std::vector<fabric::NodeId>& storage_nodes,
+    const RedundancyOptions& opts) {
+  const uint32_t k = opts.xor_set_size;
+  const auto nranks = static_cast<uint32_t>(rank_nodes.size());
+  if (k < 2) {
+    return InvalidArgumentError("xor_set_size must be >= 2");
+  }
+  if (nranks % k != 0) {
+    return InvalidArgumentError(
+        "nranks must be a multiple of xor_set_size so every erasure set "
+        "has exactly K members");
+  }
+
+  RedundancyPlan plan;
+  plan.scheme = Scheme::kXor;
+  plan.set_size = k;
+  plan.assignment.ssd_of_rank.resize(nranks);
+  plan.assignment.slot_of_rank.resize(nranks);
+  plan.set_of_rank.resize(nranks);
+
+  // Bucket ranks by their primary SSD's failure domain, then form sets
+  // by drawing one rank from the K fullest buckets — members of a set
+  // always span K distinct domains, so a single domain loss destroys at
+  // most one member's data share.
+  std::map<fabric::RackId, std::vector<uint32_t>> buckets;
+  for (uint32_t r = 0; r < nranks; ++r) {
+    const fabric::NodeId pnode = primary.ssd_nodes[primary.ssd_of_rank[r]];
+    buckets[topo.failure_domain(pnode)].push_back(r);
+  }
+  if (buckets.size() < k && !opts.allow_same_domain) {
+    return InvalidArgumentError(
+        "xor erasure sets need at least K distinct storage failure domains "
+        "(raise ClusterSpec.storage_racks or lower xor_set_size)");
+  }
+  for (uint32_t set = 0; set < nranks / k; ++set) {
+    // K fullest buckets (ties by domain id, for determinism).
+    std::vector<fabric::RackId> order;
+    for (const auto& [d, ranks] : buckets) {
+      if (!ranks.empty()) order.push_back(d);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](fabric::RackId a, fabric::RackId b) {
+                       return buckets[a].size() > buckets[b].size();
+                     });
+    std::vector<uint32_t> members;
+    if (order.size() >= k) {
+      for (uint32_t i = 0; i < k; ++i) {
+        members.push_back(buckets[order[i]].back());
+        buckets[order[i]].pop_back();
+      }
+    } else if (opts.allow_same_domain) {
+      // Degraded mode: fill the set round-robin over whatever domains
+      // remain (survives device loss, not domain loss).
+      uint32_t i = 0;
+      while (members.size() < k && !order.empty()) {
+        fabric::RackId d = order[i % order.size()];
+        if (buckets[d].empty()) {
+          order.erase(order.begin() + static_cast<long>(i % order.size()));
+          continue;
+        }
+        members.push_back(buckets[d].back());
+        buckets[d].pop_back();
+        ++i;
+      }
+    }
+    if (members.size() != k) {
+      return InvalidArgumentError(
+          "cannot form xor erasure sets spanning distinct failure domains");
+    }
+    std::sort(members.begin(), members.end());
+    for (uint32_t m : members) plan.set_of_rank[m] = set;
+    plan.set_members.push_back(std::move(members));
+  }
+
+  // Parity placement per member: prefer a domain outside the whole
+  // set's primary domains (then even a parity-domain loss costs
+  // nothing); fall back to the member's OWN primary domain — safe,
+  // because a loss there takes the member's data and its parity
+  // segment, and the segment is recomputable from the K-1 survivors
+  // while the data is covered by parity segments held elsewhere.
+  std::map<fabric::NodeId, uint32_t> load;
+  for (const auto& members : plan.set_members) {
+    std::set<fabric::RackId> set_domains;
+    for (uint32_t m : members) {
+      set_domains.insert(topo.failure_domain(
+          primary.ssd_nodes[primary.ssd_of_rank[m]]));
+    }
+    std::set<fabric::RackId> outside;
+    for (fabric::NodeId n : storage_nodes) {
+      const fabric::RackId d = topo.failure_domain(n);
+      if (set_domains.count(d) == 0) outside.insert(d);
+    }
+    for (uint32_t m : members) {
+      const fabric::NodeId pnode = primary.ssd_nodes[primary.ssd_of_rank[m]];
+      std::set<fabric::RackId> allowed = outside;
+      if (allowed.empty()) allowed.insert(topo.failure_domain(pnode));
+      int node = pick_store_node(topo, storage_nodes, allowed, load);
+      if (node < 0) {
+        return InvalidArgumentError("no storage node for xor parity segment");
+      }
+      if (static_cast<fabric::NodeId>(node) == pnode &&
+          storage_nodes.size() > 1) {
+        std::map<fabric::NodeId, uint32_t> shadow = load;
+        shadow[pnode] = UINT32_MAX - 1;
+        std::set<fabric::RackId> all;
+        for (fabric::NodeId n : storage_nodes) {
+          all.insert(topo.failure_domain(n));
+        }
+        node = pick_store_node(topo, storage_nodes,
+                               opts.allow_same_domain ? all : allowed, shadow);
+      }
+      assign_rank(plan, m, static_cast<fabric::NodeId>(node));
+      ++load[static_cast<fabric::NodeId>(node)];
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+StatusOr<RedundancyPlan> plan_redundancy(
+    const fabric::Topology& topo, const BalancerAssignment& primary,
+    const std::vector<fabric::NodeId>& rank_nodes,
+    const std::vector<fabric::NodeId>& storage_nodes,
+    const RedundancyOptions& opts) {
+  if (rank_nodes.empty()) {
+    return InvalidArgumentError("plan_redundancy: rank_nodes is empty");
+  }
+  if (primary.ssd_of_rank.size() != rank_nodes.size()) {
+    return InvalidArgumentError(
+        "plan_redundancy: primary assignment does not cover all ranks");
+  }
+  switch (opts.scheme) {
+    case Scheme::kNone: {
+      RedundancyPlan plan;
+      plan.scheme = Scheme::kNone;
+      return plan;
+    }
+    case Scheme::kPartner:
+      return plan_partner(topo, primary, rank_nodes, storage_nodes, opts);
+    case Scheme::kXor:
+      return plan_xor(topo, primary, rank_nodes, storage_nodes, opts);
+  }
+  return InvalidArgumentError("unknown redundancy scheme");
+}
+
+}  // namespace nvmecr::redundancy

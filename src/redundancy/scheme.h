@@ -1,0 +1,83 @@
+// Redundancy schemes for fast-tier checkpoints (§III-F resilience,
+// Table II trade space).
+//
+// The paper's balancer already places a rank's checkpoint data in a
+// partner failure domain, so a single domain loss never takes out a
+// process *and* its data. What it does not give is durability of the
+// data itself: a fast-tier checkpoint written between PFS intervals
+// simply vanishes with its domain. The redundancy engine adds the two
+// classic intermediate levels between "none" and "full PFS copy"
+// (SCR/JASS-style multi-level schemes):
+//
+//   kNone     baseline — fast-tier data has one copy; domain loss falls
+//             back to the (older) PFS checkpoint.
+//   kPartner  full replica of every fast-tier file on an SSD in a
+//             partner failure domain (2x write volume, instant rebuild).
+//   kXor      RAID-5-style parity across erasure sets of K ranks whose
+//             primary SSDs span distinct failure domains; each member
+//             stores a parity segment of ~1/(K-1) of its checkpoint on
+//             a partner SSD. Any single member's loss is rebuilt from
+//             the K-1 survivors plus the parity segments.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/units.h"
+
+namespace nvmecr::redundancy {
+
+using namespace nvmecr::literals;
+
+enum class Scheme : uint8_t { kNone, kPartner, kXor };
+
+inline const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kNone:
+      return "none";
+    case Scheme::kPartner:
+      return "partner";
+    case Scheme::kXor:
+      return "xor";
+  }
+  return "?";
+}
+
+/// Parses the --redundancy=none|partner|xor knob.
+inline std::optional<Scheme> parse_scheme(std::string_view name) {
+  if (name == "none") return Scheme::kNone;
+  if (name == "partner") return Scheme::kPartner;
+  if (name == "xor") return Scheme::kXor;
+  return std::nullopt;
+}
+
+struct RedundancyOptions {
+  Scheme scheme = Scheme::kNone;
+
+  /// Erasure-set size K for kXor (K-1 data shares per parity share, so
+  /// the write overhead is ~1/(K-1)). Needs at least K distinct storage
+  /// failure domains.
+  uint32_t xor_set_size = 4;
+
+  /// Content-fingerprint granularity: one 64-bit digest word summarizes
+  /// this many bytes (the simulation's stand-in for a data block; XOR
+  /// parity and reconstruction operate on these words, CRC64-validated
+  /// via common/crc.h).
+  uint64_t digest_chunk = 4_MiB;
+
+  /// Single-core XOR encode/decode CPU cost per input byte.
+  double xor_ns_per_byte = 0.15;
+
+  /// Bandwidth for serving a reconstructed (DRAM-buffered) checkpoint
+  /// back to the restarting application.
+  uint64_t dram_bw = 8_GBps;
+
+  /// Single-rack testbeds: allow replica/parity placement inside the
+  /// primary's failure domain (redundancy then only survives device —
+  /// not domain — loss).
+  bool allow_same_domain = false;
+};
+
+}  // namespace nvmecr::redundancy

@@ -70,6 +70,46 @@ class FifoMutex {
   Semaphore sem_;
 };
 
+/// Joins a dynamic group of Task<Status> children, capturing the first
+/// error (like JoinCounter, but for status-returning background work —
+/// e.g. replication tasks overlapped behind foreground writes).
+class StatusJoiner {
+ public:
+  explicit StatusJoiner(Engine& engine) : engine_(engine), event_(engine) {}
+
+  /// Spawns `task` as an engine root counted toward this joiner.
+  void spawn(Task<Status> task) {
+    ++pending_;
+    event_.reset();
+    engine_.spawn(notify_when_done(std::move(task), this));
+  }
+
+  /// Waits for every spawned task; returns the first error seen across
+  /// the whole joiner lifetime (sticky — later joins keep reporting it).
+  Task<Status> join() {
+    if (pending_ == 0) event_.set();
+    while (pending_ > 0) {
+      co_await event_.wait();
+    }
+    co_return first_error_;
+  }
+
+  int pending() const { return pending_; }
+  const Status& first_error() const { return first_error_; }
+
+ private:
+  static Task<void> notify_when_done(Task<Status> task, StatusJoiner* self) {
+    Status s = co_await std::move(task);
+    if (self->first_error_.ok() && !s.ok()) self->first_error_ = s;
+    if (--self->pending_ == 0) self->event_.set();
+  }
+
+  Engine& engine_;
+  Event event_;
+  int pending_ = 0;
+  Status first_error_;
+};
+
 /// Cyclic barrier for `parties` coroutines; reusable across generations.
 class Barrier {
  public:

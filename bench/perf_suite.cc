@@ -1,0 +1,374 @@
+// Host wall-clock performance suite + regression gate (DESIGN.md §11).
+//
+// Measures the hot paths this repo's scale story depends on and writes
+// BENCH_PERF.json:
+//
+//   des      — same-time-heavy DES microbenchmark, events/sec with the
+//              two-tier now ring enabled vs disabled (the pre-rework
+//              heap-only scheduler, kept as an in-process baseline).
+//   crc64    — slice-by-16 vs byte-at-a-time MB/s on a 1 MiB buffer.
+//   payload  — PayloadStore sequential pattern-write rate and cached
+//              whole-extent tag reads.
+//   e2e      — a fig07-style CoMD run (weak scaling) under wall-clock
+//              timing: host events/sec, now-ring hit fraction, oplog
+//              group commits.
+//
+// The gate compares the *speedup ratios* (new path vs in-process old
+// path) against a checked-in baseline, so it is stable across machines:
+// absolute events/sec vary with the host, the ratio does not (much).
+//
+//   perf_suite [--quick] [--out PATH] [--check BASELINE]
+//
+// --quick shrinks iteration counts for CI smoke; --check exits nonzero
+// if any gated ratio regresses more than 25% below the baseline value.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/crc.h"
+#include "common/rng.h"
+#include "hw/payload_store.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "simcore/engine.h"
+
+namespace nvmecr::bench {
+namespace {
+
+double now_sec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ---------------------------------------------------------------------
+// DES microbenchmark: same-time-heavy coroutine churn.
+// ---------------------------------------------------------------------
+
+sim::Task<void> churn_task(sim::Engine& eng, uint32_t iters) {
+  for (uint32_t i = 0; i < iters; ++i) {
+    if ((i & 63u) == 63u) {
+      co_await eng.delay(1);  // keep the heap exercised too (~1.5%)
+    } else {
+      co_await eng.yield();
+    }
+  }
+}
+
+struct DesResult {
+  double events_per_sec = 0;
+  double ns_per_event = 0;
+  uint64_t events = 0;
+  double ring_hit_frac = 0;
+  double wall_sec = 0;
+};
+
+DesResult run_des(bool ring_enabled, uint32_t tasks, uint32_t iters) {
+  sim::Engine eng;
+  eng.set_now_ring_enabled(ring_enabled);
+  for (uint32_t t = 0; t < tasks; ++t) eng.spawn(churn_task(eng, iters));
+  const double t0 = now_sec();
+  eng.run();
+  const double t1 = now_sec();
+  DesResult r;
+  r.events = eng.events_dispatched();
+  r.wall_sec = t1 - t0;
+  r.events_per_sec = static_cast<double>(r.events) / r.wall_sec;
+  r.ns_per_event = 1e9 * r.wall_sec / static_cast<double>(r.events);
+  r.ring_hit_frac = static_cast<double>(eng.now_ring_hits()) /
+                    static_cast<double>(r.events);
+  return r;
+}
+
+// ---------------------------------------------------------------------
+// CRC64 microbenchmark.
+// ---------------------------------------------------------------------
+
+struct CrcResult {
+  double mb_per_sec = 0;
+  double baseline_mb_per_sec = 0;
+  double speedup = 0;
+};
+
+CrcResult run_crc(size_t buf_bytes, uint32_t reps) {
+  std::vector<unsigned char> buf(buf_bytes);
+  for (size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<unsigned char>(mix64(i) & 0xff);
+  }
+  uint64_t sink = 0;
+  // Warm caches/branch predictors so the timed region measures steady
+  // state on both paths.
+  sink ^= crc64(buf.data(), buf.size(), 1);
+  sink ^= detail::crc64_reference(buf.data(), buf.size(), 1);
+  const double t0 = now_sec();
+  for (uint32_t r = 0; r < reps; ++r) {
+    sink ^= crc64(buf.data(), buf.size(), r);
+  }
+  const double t1 = now_sec();
+  for (uint32_t r = 0; r < reps; ++r) {
+    sink ^= detail::crc64_reference(buf.data(), buf.size(), r);
+  }
+  const double t2 = now_sec();
+  // Identical seeds: the two passes XOR-cancel to 0 iff the
+  // implementations agree — a free equivalence check that also defeats
+  // dead-code elimination.
+  NVMECR_CHECK(sink == 0);
+  const double mb = static_cast<double>(buf_bytes) * reps / 1e6;
+  CrcResult r;
+  r.mb_per_sec = mb / (t1 - t0);
+  r.baseline_mb_per_sec = mb / (t2 - t1);
+  r.speedup = r.mb_per_sec / r.baseline_mb_per_sec;
+  return r;
+}
+
+// ---------------------------------------------------------------------
+// PayloadStore microbenchmark.
+// ---------------------------------------------------------------------
+
+struct PayloadResult {
+  double write_gb_per_sec = 0;   // conceptual (pattern) bytes per wall sec
+  double tag_reads_per_sec = 0;  // cached whole-range tag reads
+  uint64_t tag_cache_hits = 0;
+  size_t extents = 0;
+};
+
+PayloadResult run_payload(uint64_t total_bytes, uint32_t tag_reps) {
+  constexpr uint32_t kBlock = 32768;  // paper hugeblock
+  constexpr uint64_t kChunk = 4_MiB;
+  hw::PayloadStore store(kBlock);
+  const double t0 = now_sec();
+  for (uint64_t off = 0; off < total_bytes; off += kChunk) {
+    NVMECR_CHECK(store.write_pattern(off, kChunk, /*seed=*/7).ok());
+  }
+  const double t1 = now_sec();
+  uint64_t sink = 0;
+  for (uint32_t r = 0; r < tag_reps; ++r) {
+    auto tag = store.read_combined_tag(0, total_bytes);
+    NVMECR_CHECK(tag.ok());
+    sink ^= *tag;
+  }
+  const double t2 = now_sec();
+  NVMECR_CHECK(sink == 0 || tag_reps % 2 == 1);
+  PayloadResult r;
+  r.write_gb_per_sec = static_cast<double>(total_bytes) / 1e9 / (t1 - t0);
+  r.tag_reads_per_sec = tag_reps / (t2 - t1);
+  r.tag_cache_hits = store.tag_cache_hits();
+  r.extents = store.extent_count();
+  return r;
+}
+
+// ---------------------------------------------------------------------
+// End-to-end fig07-style run under wall-clock timing.
+// ---------------------------------------------------------------------
+
+struct E2eResult {
+  double wall_sec = 0;
+  double events_per_sec = 0;
+  uint64_t events = 0;
+  double ring_hit_frac = 0;
+  uint64_t group_commits = 0;
+  uint64_t tag_cache_hits = 0;
+  double sim_efficiency = 0;
+};
+
+E2eResult run_e2e(uint32_t nranks, uint32_t checkpoints) {
+  ComdParams params = weak_scaling_params(nranks);
+  params.checkpoints = checkpoints;
+  obs::MetricsRegistry metrics;
+  obs::Observer o;
+  o.metrics = &metrics;
+  const double t0 = now_sec();
+  JobMetrics m = run_nvmecr(params, default_runtime_config(), nullptr,
+                            /*num_ssds=*/8, o);
+  const double t1 = now_sec();
+  E2eResult r;
+  r.wall_sec = t1 - t0;
+  r.events = metrics.counter("engine.events_dispatched")->value();
+  r.events_per_sec = static_cast<double>(r.events) / r.wall_sec;
+  r.ring_hit_frac = static_cast<double>(
+                        metrics.counter("engine.now_ring_hits")->value()) /
+                    static_cast<double>(r.events);
+  r.group_commits = metrics.counter("microfs.oplog.group_commits")->value();
+  r.tag_cache_hits = metrics.counter("payload.tag_cache_hits")->value();
+  r.sim_efficiency = m.checkpoint_efficiency();
+  return r;
+}
+
+// ---------------------------------------------------------------------
+// Baseline gate: flat {"key": number} JSON, 25% regression tolerance.
+// ---------------------------------------------------------------------
+
+bool read_baseline(const std::string& path,
+                   std::vector<std::pair<std::string, double>>& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  size_t pos = 0;
+  while ((pos = text.find('"', pos)) != std::string::npos) {
+    const size_t end = text.find('"', pos + 1);
+    if (end == std::string::npos) break;
+    const std::string key = text.substr(pos + 1, end - pos - 1);
+    size_t colon = text.find(':', end);
+    if (colon == std::string::npos) break;
+    out.emplace_back(key, std::strtod(text.c_str() + colon + 1, nullptr));
+    pos = text.find(',', colon);
+    if (pos == std::string::npos) break;
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace nvmecr::bench
+
+int main(int argc, char** argv) {
+  using namespace nvmecr;
+  using namespace nvmecr::bench;
+
+  bool quick = false;
+  std::string out_path = "BENCH_PERF.json";
+  std::string check_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--check" && i + 1 < argc) {
+      check_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_suite [--quick] [--out PATH] "
+                   "[--check BASELINE]\n");
+      return 2;
+    }
+  }
+
+  // DES: 256 tasks ping-ponging at the same sim time.
+  const uint32_t des_iters = quick ? 4096 : 16384;
+  std::printf("[des] %u tasks x %u iters...\n", 256u, des_iters);
+  const DesResult des_old = run_des(/*ring=*/false, 256, des_iters);
+  const DesResult des_new = run_des(/*ring=*/true, 256, des_iters);
+  const double des_speedup = des_new.events_per_sec / des_old.events_per_sec;
+  std::printf("[des] ring on: %.1f Mev/s (%.1f ns/ev, ring %.0f%%)  "
+              "ring off: %.1f Mev/s  speedup %.2fx\n",
+              des_new.events_per_sec / 1e6, des_new.ns_per_event,
+              100 * des_new.ring_hit_frac, des_old.events_per_sec / 1e6,
+              des_speedup);
+
+  // CRC64: 1 MiB buffer.
+  const uint32_t crc_reps = quick ? 64 : 512;
+  std::printf("[crc64] 1 MiB x %u reps...\n", crc_reps);
+  const CrcResult crc = run_crc(1_MiB, crc_reps);
+  std::printf("[crc64] slice16: %.0f MB/s  bytewise: %.0f MB/s  "
+              "speedup %.2fx\n",
+              crc.mb_per_sec, crc.baseline_mb_per_sec, crc.speedup);
+
+  // PayloadStore: sequential pattern stream + cached tag reads.
+  const uint64_t pay_bytes = quick ? 1_GiB : 8_GiB;
+  const uint32_t tag_reps = quick ? 1000 : 10000;
+  std::printf("[payload] %.0f GiB stream, %u tag reads...\n",
+              static_cast<double>(pay_bytes) / (1_GiB), tag_reps);
+  const PayloadResult pay = run_payload(pay_bytes, tag_reps);
+  std::printf("[payload] write %.1f GB/s (conceptual)  tag reads "
+              "%.2g/s  cache hits %llu  extents %zu\n",
+              pay.write_gb_per_sec, pay.tag_reads_per_sec,
+              static_cast<unsigned long long>(pay.tag_cache_hits),
+              pay.extents);
+
+  // End-to-end fig07-style run.
+  const uint32_t e2e_ranks = quick ? 56 : 112;
+  const uint32_t e2e_ckpts = quick ? 2 : 5;
+  std::printf("[e2e] CoMD weak scaling, %u ranks, %u checkpoints...\n",
+              e2e_ranks, e2e_ckpts);
+  const E2eResult e2e = run_e2e(e2e_ranks, e2e_ckpts);
+  std::printf("[e2e] wall %.2f s  %.1f Mev/s  ring %.0f%%  "
+              "group_commits %llu  tag hits %llu  efficiency %.3f\n",
+              e2e.wall_sec, e2e.events_per_sec / 1e6,
+              100 * e2e.ring_hit_frac,
+              static_cast<unsigned long long>(e2e.group_commits),
+              static_cast<unsigned long long>(e2e.tag_cache_hits),
+              e2e.sim_efficiency);
+
+  // BENCH_PERF.json.
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "perf_suite: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    char buf[4096];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "  \"schema\": \"nvmecr-perf-suite-v1\",\n"
+        "  \"quick\": %s,\n"
+        "  \"des.events_per_sec\": %.6g,\n"
+        "  \"des.ns_per_event\": %.6g,\n"
+        "  \"des.ring_hit_frac\": %.4f,\n"
+        "  \"des.baseline_events_per_sec\": %.6g,\n"
+        "  \"des.speedup\": %.4f,\n"
+        "  \"crc64.mb_per_sec\": %.6g,\n"
+        "  \"crc64.baseline_mb_per_sec\": %.6g,\n"
+        "  \"crc64.speedup\": %.4f,\n"
+        "  \"payload.write_gb_per_sec\": %.6g,\n"
+        "  \"payload.tag_reads_per_sec\": %.6g,\n"
+        "  \"payload.tag_cache_hits\": %llu,\n"
+        "  \"e2e.wall_sec\": %.6g,\n"
+        "  \"e2e.events_per_sec\": %.6g,\n"
+        "  \"e2e.ring_hit_frac\": %.4f,\n"
+        "  \"e2e.oplog_group_commits\": %llu,\n"
+        "  \"e2e.payload_tag_cache_hits\": %llu,\n"
+        "  \"e2e.sim_efficiency\": %.6g\n"
+        "}\n",
+        quick ? "true" : "false", des_new.events_per_sec,
+        des_new.ns_per_event, des_new.ring_hit_frac, des_old.events_per_sec,
+        des_speedup, crc.mb_per_sec, crc.baseline_mb_per_sec, crc.speedup,
+        pay.write_gb_per_sec, pay.tag_reads_per_sec,
+        static_cast<unsigned long long>(pay.tag_cache_hits), e2e.wall_sec,
+        e2e.events_per_sec, e2e.ring_hit_frac,
+        static_cast<unsigned long long>(e2e.group_commits),
+        static_cast<unsigned long long>(e2e.tag_cache_hits),
+        e2e.sim_efficiency);
+    out << buf;
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  // Regression gate: ratios only (machine-independent).
+  if (!check_path.empty()) {
+    std::vector<std::pair<std::string, double>> baseline;
+    if (!read_baseline(check_path, baseline)) {
+      std::fprintf(stderr, "perf_suite: cannot read baseline %s\n",
+                   check_path.c_str());
+      return 1;
+    }
+    constexpr double kTolerance = 0.75;  // fail on >25% regression
+    bool ok = true;
+    for (const auto& [key, want] : baseline) {
+      double got = -1;
+      if (key == "des.speedup") got = des_speedup;
+      else if (key == "crc64.speedup") got = crc.speedup;
+      else continue;  // informational keys are not gated
+      if (got < want * kTolerance) {
+        std::fprintf(stderr,
+                     "PERF REGRESSION: %s = %.3f, baseline %.3f "
+                     "(floor %.3f)\n",
+                     key.c_str(), got, want, want * kTolerance);
+        ok = false;
+      } else {
+        std::printf("gate ok: %s = %.3f (baseline %.3f)\n", key.c_str(), got,
+                    want);
+      }
+    }
+    if (!ok) return 1;
+  }
+  return 0;
+}

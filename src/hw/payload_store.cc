@@ -32,8 +32,9 @@ uint64_t PayloadStore::expected_tag(uint64_t seed, uint64_t offset,
   return tag;
 }
 
-void PayloadStore::carve(uint64_t start, uint64_t len) {
-  if (len == 0) return;
+PayloadStore::ExtentMap::iterator PayloadStore::carve(uint64_t start,
+                                                      uint64_t len) {
+  if (len == 0) return extents_.lower_bound(start);
   const uint64_t end = start + len;
 
   // Split a predecessor that overlaps the carve region.
@@ -50,19 +51,21 @@ void PayloadStore::carve(uint64_t start, uint64_t len) {
         tail.is_pattern = pe.is_pattern;
         tail.seed = pe.seed;
         if (!pe.is_pattern) tail.bytes = slice(pe.bytes, end - prev->first, tail.len);
-        extents_.emplace(end, std::move(tail));
+        it = extents_.emplace_hint(it, end, std::move(tail));
       }
       // Head before the carve region survives, trimmed.
+      total_bytes_ -= std::min(prev_end, end) - start;
       pe.len = start - prev->first;
+      pe.tag_valid = false;
       if (!pe.is_pattern) pe.bytes.resize(pe.len);
     }
   }
 
   // Remove/trim extents starting inside the carve region.
-  it = extents_.lower_bound(start);
   while (it != extents_.end() && it->first < end) {
     const uint64_t e_end = it->first + it->second.len;
     if (e_end <= end) {
+      total_bytes_ -= it->second.len;
       it = extents_.erase(it);
     } else {
       // Keep the tail that sticks out.
@@ -73,11 +76,15 @@ void PayloadStore::carve(uint64_t start, uint64_t len) {
       if (!tail.is_pattern) {
         tail.bytes = slice(it->second.bytes, end - it->first, tail.len);
       }
-      extents_.erase(it);
-      extents_.emplace(end, std::move(tail));
+      total_bytes_ -= end - it->first;
+      it = extents_.erase(it);
+      it = extents_.emplace_hint(it, end, std::move(tail));
       break;
     }
   }
+  // `it` is the first extent at or past `end` — nothing remains in
+  // [start, end), so it doubles as the hint for inserting at `start`.
+  return it;
 }
 
 bool PayloadStore::mergeable(uint64_t a_start, const Extent& a,
@@ -88,14 +95,18 @@ bool PayloadStore::mergeable(uint64_t a_start, const Extent& a,
          a_start + a.len == b_start;
 }
 
-void PayloadStore::insert_extent(uint64_t start, Extent e) {
-  auto [it, inserted] = extents_.emplace(start, std::move(e));
-  NVMECR_CHECK(inserted);
+void PayloadStore::insert_extent(ExtentMap::iterator hint, uint64_t start,
+                                 Extent e) {
+  const size_t before = extents_.size();
+  total_bytes_ += e.len;
+  auto it = extents_.emplace_hint(hint, start, std::move(e));
+  NVMECR_CHECK(extents_.size() == before + 1);
   // Merge with successor.
   auto next = std::next(it);
   if (next != extents_.end() &&
       mergeable(it->first, it->second, next->first, next->second)) {
     it->second.len += next->second.len;
+    it->second.tag_valid = false;
     extents_.erase(next);
   }
   // Merge with predecessor.
@@ -103,6 +114,7 @@ void PayloadStore::insert_extent(uint64_t start, Extent e) {
     auto prev = std::prev(it);
     if (mergeable(prev->first, prev->second, it->first, it->second)) {
       prev->second.len += it->second.len;
+      prev->second.tag_valid = false;
       extents_.erase(it);
     }
   }
@@ -111,12 +123,15 @@ void PayloadStore::insert_extent(uint64_t start, Extent e) {
 void PayloadStore::write_bytes(uint64_t offset,
                                std::span<const std::byte> data) {
   if (data.empty()) return;
-  carve(offset, data.size());
+  // Appends past the last extent cannot overlap anything: skip the carve
+  // and hand the map an end() hint (amortized O(1) insertion).
+  auto hint = append_past_end(offset) ? extents_.end()
+                                      : carve(offset, data.size());
   Extent e;
   e.len = data.size();
   e.is_pattern = false;
   e.bytes.assign(data.begin(), data.end());
-  insert_extent(offset, std::move(e));
+  insert_extent(hint, offset, std::move(e));
 }
 
 Status PayloadStore::read_bytes(uint64_t offset,
@@ -153,13 +168,58 @@ Status PayloadStore::write_pattern(uint64_t offset, uint64_t len,
   if (offset % block_size_ != 0 || len % block_size_ != 0) {
     return InvalidArgumentError("pattern IO must be block-aligned");
   }
-  carve(offset, len);
+  if (append_past_end(offset)) {
+    // Sequential checkpoint streaming: extend the last extent in place
+    // when it is the same pattern, else append with an end() hint. No
+    // carve either way.
+    if (!extents_.empty()) {
+      auto& [last_start, last] = *extents_.rbegin();
+      if (last.is_pattern && last.seed == seed &&
+          last_start + last.len == offset) {
+        last.len += len;
+        last.tag_valid = false;
+        total_bytes_ += len;
+        return OkStatus();
+      }
+    }
+    Extent e;
+    e.len = len;
+    e.is_pattern = true;
+    e.seed = seed;
+    insert_extent(extents_.end(), offset, std::move(e));
+    return OkStatus();
+  }
+  auto hint = carve(offset, len);
   Extent e;
   e.len = len;
   e.is_pattern = true;
   e.seed = seed;
-  insert_extent(offset, std::move(e));
+  insert_extent(hint, offset, std::move(e));
   return OkStatus();
+}
+
+uint64_t PayloadStore::tag_of_range(uint64_t e_start, const Extent& e,
+                                    uint64_t ov_start, uint64_t ov_end) const {
+  uint64_t tag = 0;
+  if (e.is_pattern) {
+    // Pattern blocks fully covered by the overlap contribute their tag.
+    const uint64_t first_block = ceil_div(ov_start, block_size_);
+    const uint64_t last_block = ov_end / block_size_;  // exclusive
+    for (uint64_t b = first_block; b < last_block; ++b) {
+      tag += block_tag(e.seed, b);
+    }
+  } else {
+    // Real-byte blocks contribute a content hash per fully covered
+    // block (partial blocks hash the covered slice).
+    uint64_t pos = ov_start;
+    while (pos < ov_end) {
+      const uint64_t block_end =
+          std::min<uint64_t>((pos / block_size_ + 1) * block_size_, ov_end);
+      tag += fnv1a(e.bytes.data() + (pos - e_start), block_end - pos);
+      pos = block_end;
+    }
+  }
+  return tag;
 }
 
 StatusOr<uint64_t> PayloadStore::read_combined_tag(uint64_t offset,
@@ -177,37 +237,26 @@ StatusOr<uint64_t> PayloadStore::read_combined_tag(uint64_t offset,
   }
   for (; it != extents_.end() && it->first < end; ++it) {
     const uint64_t e_start = it->first;
-    const uint64_t e_end = e_start + it->second.len;
+    const Extent& e = it->second;
+    const uint64_t e_end = e_start + e.len;
     const uint64_t ov_start = std::max(e_start, offset);
     const uint64_t ov_end = std::min(e_end, end);
     if (ov_start >= ov_end) continue;
-    if (it->second.is_pattern) {
-      // Pattern blocks fully covered by the overlap contribute their tag.
-      const uint64_t first_block = ceil_div(ov_start, block_size_);
-      const uint64_t last_block = ov_end / block_size_;  // exclusive
-      for (uint64_t b = first_block; b < last_block; ++b) {
-        tag += block_tag(it->second.seed, b);
+    if (ov_start == e_start && ov_end == e_end) {
+      // Whole-extent read: serve from (or fill) the per-extent cache so
+      // restart-verification over unmodified data is O(1) per extent.
+      if (e.tag_valid) {
+        ++tag_cache_hits_;
+      } else {
+        e.cached_tag = tag_of_range(e_start, e, e_start, e_end);
+        e.tag_valid = true;
       }
+      tag += e.cached_tag;
     } else {
-      // Real-byte blocks contribute a content hash per fully covered
-      // block (partial blocks hash the covered slice).
-      uint64_t pos = ov_start;
-      while (pos < ov_end) {
-        const uint64_t block_end =
-            std::min<uint64_t>((pos / block_size_ + 1) * block_size_, ov_end);
-        tag += fnv1a(it->second.bytes.data() + (pos - e_start),
-                     block_end - pos);
-        pos = block_end;
-      }
+      tag += tag_of_range(e_start, e, ov_start, ov_end);
     }
   }
   return tag;
-}
-
-uint64_t PayloadStore::bytes_stored() const {
-  uint64_t total = 0;
-  for (const auto& [start, e] : extents_) total += e.len;
-  return total;
 }
 
 }  // namespace nvmecr::hw

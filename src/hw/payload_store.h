@@ -5,6 +5,13 @@
 // payload). Overlapping writes split/trim older extents exactly like a
 // physical medium would overwrite sectors; adjacent same-seed extents
 // merge so a sequentially written checkpoint file costs one map entry.
+//
+// Host-performance fast paths (DESIGN.md §11): each extent caches its
+// whole-extent combined tag so re-reading an unmodified extent is O(1)
+// instead of re-hashing every block; writes that land past the last
+// extent (the dominant sequential-checkpoint case) skip the overlap
+// carve and use hinted map insertion; bytes_stored() is maintained
+// incrementally instead of walking the map.
 #pragma once
 
 #include <cstdint>
@@ -46,15 +53,22 @@ class PayloadStore {
   static uint64_t expected_tag(uint64_t seed, uint64_t offset, uint64_t len,
                                uint32_t block_size);
 
-  /// Total bytes currently represented (real + pattern).
-  uint64_t bytes_stored() const;
+  /// Total bytes currently represented (real + pattern). O(1).
+  uint64_t bytes_stored() const { return total_bytes_; }
 
   /// Number of extents (memory-footprint observability; merging keeps
   /// this small for sequential workloads).
   size_t extent_count() const { return extents_.size(); }
 
+  /// Times read_combined_tag served a whole extent from its cached tag
+  /// instead of re-hashing per block (exported as payload.tag_cache_hits).
+  uint64_t tag_cache_hits() const { return tag_cache_hits_; }
+
   /// Drops all content (device reformat).
-  void clear() { extents_.clear(); }
+  void clear() {
+    extents_.clear();
+    total_bytes_ = 0;
+  }
 
   uint32_t block_size() const { return block_size_; }
 
@@ -66,19 +80,45 @@ class PayloadStore {
     bool is_pattern = false;
     uint64_t seed = 0;
     std::vector<std::byte> bytes;
+    // Whole-extent combined tag, filled lazily by read_combined_tag and
+    // invalidated by every mutation (trim, merge, extend). Mutable: the
+    // cache is filled from const readers.
+    mutable uint64_t cached_tag = 0;
+    mutable bool tag_valid = false;
   };
 
-  /// Removes/overwrite-trims everything intersecting [start, start+len).
-  void carve(uint64_t start, uint64_t len);
+  using ExtentMap = std::map<uint64_t, Extent>;  // key: start offset
 
-  /// Inserts and merges with neighbors when possible.
-  void insert_extent(uint64_t start, Extent e);
+  /// Removes/overwrite-trims everything intersecting [start, start+len).
+  /// Returns the position where a new extent at `start` belongs, usable
+  /// as an insertion hint.
+  ExtentMap::iterator carve(uint64_t start, uint64_t len);
+
+  /// Inserts at `hint` (from carve() or end() for appends) and merges
+  /// with neighbors when possible.
+  void insert_extent(ExtentMap::iterator hint, uint64_t start, Extent e);
+
+  /// True when [offset, ...) starts at or past the end of the last
+  /// extent, i.e. the write cannot overlap anything and carve() can be
+  /// skipped entirely.
+  bool append_past_end(uint64_t offset) const {
+    if (extents_.empty()) return true;
+    const auto& [last_start, last] = *extents_.rbegin();
+    return last_start + last.len <= offset;
+  }
+
+  /// Combined tag of extent `e` (starting at `e_start`) restricted to
+  /// [ov_start, ov_end), which must lie within the extent.
+  uint64_t tag_of_range(uint64_t e_start, const Extent& e, uint64_t ov_start,
+                        uint64_t ov_end) const;
 
   static bool mergeable(uint64_t a_start, const Extent& a, uint64_t b_start,
                         const Extent& b);
 
   uint32_t block_size_;
-  std::map<uint64_t, Extent> extents_;  // key: start offset
+  ExtentMap extents_;
+  uint64_t total_bytes_ = 0;
+  mutable uint64_t tag_cache_hits_ = 0;
 };
 
 }  // namespace nvmecr::hw

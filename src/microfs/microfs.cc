@@ -579,6 +579,8 @@ sim::Task<Status> MicroFs::unlink(const std::string& path) {
 sim::Task<Status> MicroFs::close(int fd) {
   co_await engine_.delay(options_.cpu_per_op);
   if (open_files_.erase(fd) == 0) co_return BadFdError();
+  // Sync point: deferred (group-committed) log rewrites become durable.
+  NVMECR_CO_RETURN_IF_ERROR(co_await log_->flush());
   maybe_spawn_checkpoint();
   co_return OkStatus();
 }
@@ -800,6 +802,8 @@ sim::Task<Status> MicroFs::fsync(int fd) {
   // bandwidth rather than the capacitor-RAM burst.
   if (open_files_.find(fd) == open_files_.end()) co_return BadFdError();
   co_await engine_.delay(options_.cpu_per_op);
+  // Sync point: deferred (group-committed) log rewrites become durable.
+  NVMECR_CO_RETURN_IF_ERROR(co_await log_->flush());
   if (options_.fsync_settles_device) {
     co_return co_await dev_.flush();
   }
@@ -814,6 +818,17 @@ sim::Task<Status> MicroFs::checkpoint_state() {
   if (checkpoint_in_flight_) co_return OkStatus();
   checkpoint_in_flight_ = true;
   const SimTime ckpt_t0 = engine_.now();
+
+  // Make deferred log rewrites durable before the snapshot boundary so a
+  // crash mid-checkpoint recovers from a log consistent with the
+  // about-to-be-serialized state.
+  {
+    Status fs_ = co_await log_->flush();
+    if (!fs_.ok()) {
+      checkpoint_in_flight_ = false;
+      co_return fs_;
+    }
+  }
 
   // Snapshot boundary: records after this instant carry the new epoch
   // and survive the truncation below.

@@ -80,6 +80,7 @@ void OpLog::set_observer(const obs::Observer& o, const std::string& label,
   m_coalesced_ = nullptr;
   m_bytes_ = nullptr;
   m_forced_full_ = nullptr;
+  m_group_commits_ = nullptr;
   m_free_slots_ = nullptr;
   if (obs_.metrics == nullptr) return;
   // Counters aggregate across every microfs instance of the run; the
@@ -88,17 +89,49 @@ void OpLog::set_observer(const obs::Observer& o, const std::string& label,
   m_coalesced_ = obs_.metrics->counter("microfs.oplog.coalesced");
   m_bytes_ = obs_.metrics->counter("microfs.oplog.bytes_written");
   m_forced_full_ = obs_.metrics->counter("microfs.oplog.forced_full");
+  m_group_commits_ = obs_.metrics->counter("microfs.oplog.group_commits");
   m_free_slots_ =
       obs_.metrics->gauge("microfs." + label + ".oplog_free_slots");
 }
 
-sim::Task<Status> OpLog::write_slot(uint32_t slot, const LogRecord& rec) {
-  std::vector<std::byte> buf;
-  encode_record(rec, buf);
-  counters_.bytes_written += buf.size();
-  if (m_bytes_ != nullptr) m_bytes_->add(buf.size());
-  co_return co_await dev_.write(
-      region_base_ + static_cast<uint64_t>(slot) * kRecordBytes, buf);
+sim::Task<Status> OpLog::flush_dirty() {
+  // One group commit = one drain that makes deferred coalesced updates
+  // durable (N in-place extensions -> one batched write-out).
+  if (deferred_pending_ > 0) {
+    ++counters_.group_commits;
+    if (m_group_commits_ != nullptr) m_group_commits_->add();
+    deferred_pending_ = 0;
+  }
+  // Walk the (sorted) dirty set, coalescing runs of adjacent slots into
+  // one contiguous device submission each.
+  while (!dirty_.empty()) {
+    auto it = dirty_.begin();
+    const uint32_t first = it->first;
+    uint32_t slot = first;
+    std::vector<std::byte> buf;
+    std::vector<std::byte> one;
+    while (it != dirty_.end() && it->first == slot) {
+      encode_record(it->second, one);
+      buf.insert(buf.end(), one.begin(), one.end());
+      ++slot;
+      it = dirty_.erase(it);
+    }
+    counters_.bytes_written += buf.size();
+    if (m_bytes_ != nullptr) m_bytes_->add(buf.size());
+    NVMECR_CO_RETURN_IF_ERROR(co_await dev_.write(
+        region_base_ + static_cast<uint64_t>(first) * kRecordBytes, buf));
+  }
+  co_return OkStatus();
+}
+
+sim::Task<Status> OpLog::flush() {
+  if (dirty_.empty()) co_return OkStatus();
+  const SimTime t0 = obs_engine_ != nullptr ? obs_engine_->now() : 0;
+  Status s = co_await flush_dirty();
+  if (obs_.trace != nullptr && obs_engine_ != nullptr) {
+    obs_.trace->add_span(trace_track_, "group_flush", t0, obs_engine_->now());
+  }
+  co_return s;
 }
 
 sim::Task<Status> OpLog::append(LogRecord rec, bool allow_coalesce,
@@ -120,13 +153,16 @@ sim::Task<Status> OpLog::append(LogRecord rec, bool allow_coalesce,
         ++counters_.coalesced;
         if (coalesced_out != nullptr) *coalesced_out = true;
         if (m_coalesced_ != nullptr) m_coalesced_->add();
-        const SimTime t0 = obs_engine_ != nullptr ? obs_engine_->now() : 0;
-        Status s = co_await write_slot(cand.slot, cand.record);
+        // Group commit: defer the slot rewrite to the next flush point.
+        // The DRAM copy is authoritative; dirty_ holds the content to
+        // write, replaced wholesale if this record coalesces again.
+        dirty_[cand.slot] = cand.record;
+        ++deferred_pending_;
         if (obs_.trace != nullptr && obs_engine_ != nullptr) {
-          obs_.trace->add_span(trace_track_, "coalesce", t0,
-                               obs_engine_->now());
+          obs_.trace->add_instant(trace_track_, "coalesce_defer",
+                                  obs_engine_->now());
         }
-        co_return s;
+        co_return OkStatus();
       }
     }
   }
@@ -145,7 +181,10 @@ sim::Task<Status> OpLog::append(LogRecord rec, bool allow_coalesce,
   ++counters_.appended;
   if (m_appended_ != nullptr) m_appended_->add();
   const SimTime t0 = obs_engine_ != nullptr ? obs_engine_->now() : 0;
-  Status s = co_await write_slot(slot, live_.back().record);
+  // The new slot rides the same drain as any pending deferred rewrites —
+  // contiguous slots share one device submission.
+  dirty_[slot] = live_.back().record;
+  Status s = co_await flush_dirty();
   if (obs_engine_ != nullptr) {
     if (obs_.trace != nullptr) {
       obs_.trace->add_span(trace_track_, "append", t0, obs_engine_->now());
@@ -164,6 +203,16 @@ void OpLog::truncate_before(uint32_t epoch) {
   while (!live_.empty() && live_.front().record.epoch < epoch) {
     live_.pop_front();
   }
+  // Deferred rewrites of truncated records are moot — their slots are
+  // free for reuse and must not be clobbered by a later flush.
+  for (auto it = dirty_.begin(); it != dirty_.end();) {
+    if (it->second.epoch < epoch) {
+      it = dirty_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (dirty_.empty()) deferred_pending_ = 0;
   if (m_free_slots_ != nullptr && obs_engine_ != nullptr) {
     m_free_slots_->set(obs_engine_->now(), static_cast<double>(free_slots()));
   }
@@ -173,6 +222,8 @@ void OpLog::restore(
     const std::vector<std::pair<uint32_t, LogRecord>>& slot_records,
     uint32_t epoch, uint64_t next_lsn) {
   live_.clear();
+  dirty_.clear();
+  deferred_pending_ = 0;
   for (const auto& [slot, rec] : slot_records) {
     live_.push_back(LiveRecord{slot, rec});
   }

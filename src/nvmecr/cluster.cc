@@ -64,6 +64,22 @@ void Cluster::install_observer(const obs::Observer& o) {
   for (auto& target : targets_) target->set_observer(o);
 }
 
+void Cluster::export_run_metrics() {
+  if (observer_.metrics == nullptr) return;
+  const auto push = [this](const char* name, uint64_t now, uint64_t& last) {
+    observer_.metrics->counter(name)->add(now - last);
+    last = now;
+  };
+  push("engine.events_dispatched", engine_.events_dispatched(),
+       exported_events_dispatched_);
+  push("engine.now_ring_hits", engine_.now_ring_hits(),
+       exported_now_ring_hits_);
+  uint64_t tag_hits = 0;
+  for (const auto& ssd : storage_ssds_) tag_hits += ssd->payload().tag_cache_hits();
+  for (const auto& ssd : local_ssds_) tag_hits += ssd->payload().tag_cache_hits();
+  push("payload.tag_cache_hits", tag_hits, exported_tag_cache_hits_);
+}
+
 uint32_t Cluster::storage_ssd_index(fabric::NodeId node) const {
   for (uint32_t i = 0; i < storage_nodes_.size(); ++i) {
     if (storage_nodes_[i] == node) return i;

@@ -90,6 +90,14 @@ class Cluster {
   void install_observer(const obs::Observer& o);
   const obs::Observer& observer() const { return observer_; }
 
+  /// Copies the host-performance counters that live outside the obs layer
+  /// — the engine's dispatch/now-ring counts (simcore cannot depend on
+  /// obs) and the payload stores' tag-cache hits — into the installed
+  /// metrics registry (`engine.*`, `payload.*`). Drivers call this after
+  /// a run; per-counter deltas make repeated calls safe. No-op without an
+  /// installed metrics sink.
+  void export_run_metrics();
+
  private:
   ClusterSpec spec_;
   sim::Engine engine_;
@@ -101,6 +109,10 @@ class Cluster {
   std::vector<std::unique_ptr<nvmf::NvmfTarget>> targets_;
   std::vector<std::unique_ptr<hw::NvmeSsd>> local_ssds_;  // per compute node
   obs::Observer observer_;
+  // Last values pushed by export_run_metrics().
+  uint64_t exported_events_dispatched_ = 0;
+  uint64_t exported_now_ring_hits_ = 0;
+  uint64_t exported_tag_cache_hits_ = 0;
 };
 
 /// A job's storage allocation: the balancer result plus the NVMe

@@ -1,5 +1,10 @@
 #include "simcore/engine.h"
 
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
 namespace nvmecr::sim {
 
 namespace {
@@ -25,16 +30,87 @@ void Engine::spawn(Task<void> task) {
   schedule_now(handle);
 }
 
+void Engine::heap_push(Item item) {
+  heap_.push_back(item);
+  // Sift up.
+  size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!heap_[i].earlier_than(heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+Engine::Item Engine::heap_pop() {
+  Item top = heap_.front();
+  Item last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    // Sift down.
+    size_t i = 0;
+    const size_t n = heap_.size();
+    for (;;) {
+      const size_t l = 2 * i + 1;
+      if (l >= n) break;
+      const size_t r = l + 1;
+      const size_t child =
+          (r < n && heap_[r].earlier_than(heap_[l])) ? r : l;
+      if (!heap_[child].earlier_than(last)) break;
+      heap_[i] = heap_[child];
+      i = child;
+    }
+    heap_[i] = last;
+  }
+  return top;
+}
+
+void Engine::ring_push(Ready r) {
+  if (ring_size_ == ring_.size()) ring_grow();
+  ring_[(ring_head_ + ring_size_) & (ring_.size() - 1)] = r;
+  ++ring_size_;
+}
+
+void Engine::ring_grow() {
+  // Double the power-of-two storage, unrolling the wrapped contents into
+  // the front of the new buffer.
+  std::vector<Ready> bigger(ring_.size() * 2);
+  for (size_t i = 0; i < ring_size_; ++i) {
+    bigger[i] = ring_[(ring_head_ + i) & (ring_.size() - 1)];
+  }
+  ring_ = std::move(bigger);
+  ring_head_ = 0;
+}
+
 SimTime Engine::run() { return run_until(INT64_MAX); }
 
 SimTime Engine::run_until(SimTime deadline) {
-  while (!queue_.empty() && queue_.top().time <= deadline) {
-    Item item = queue_.top();
-    queue_.pop();
-    now_ = item.time;
-    if (!item.handle.done()) item.handle.resume();
+  for (;;) {
+    if (ring_size_ != 0 && now_ <= deadline) {
+      // A heap entry that matured to the current time was inserted
+      // before now_ advanced here, so it carries a smaller seq than
+      // every ring entry (pushed while now_ == current time) and must
+      // dispatch first to preserve global (time, seq) order.
+      if (!heap_.empty() && heap_.front().time <= now_ &&
+          heap_.front().seq < ring_[ring_head_].seq) {
+        Item item = heap_pop();
+        dispatch(now_, item.seq, item.handle);
+      } else {
+        Ready r = ring_pop();
+        ++now_ring_hits_;
+        dispatch(now_, r.seq, r.handle);
+      }
+      continue;
+    }
+    if (!heap_.empty() && heap_.front().time <= deadline) {
+      Item item = heap_pop();
+      if (item.time > now_) now_ = item.time;
+      dispatch(now_, item.seq, item.handle);
+      continue;
+    }
+    break;
   }
-  if (queue_.empty()) reap_finished_roots();
+  if (heap_.empty() && ring_size_ == 0) reap_finished_roots();
   return now_;
 }
 
@@ -47,6 +123,16 @@ void Engine::reap_finished_roots() {
       ++it;
     }
   }
+}
+
+void Engine::die_deadlocked(const char* where) const {
+  std::fprintf(stderr,
+               "Engine::%s deadlock: engine drained but the task never "
+               "completed (live_roots=%d, sim_time=%" PRId64
+               " ns, events_dispatched=%" PRIu64
+               ") — a root is awaiting an event that never fires\n",
+               where, live_roots_, now_, events_dispatched_);
+  std::abort();
 }
 
 Engine::~Engine() {

@@ -1,7 +1,7 @@
 // Discrete-event simulation engine.
 //
-// The engine owns a priority queue of scheduled coroutine resumptions
-// keyed by (simulated time, insertion sequence). Simulated entities are
+// The engine owns the set of scheduled coroutine resumptions keyed by
+// (simulated time, insertion sequence). Simulated entities are
 // coroutines (sim::Task) that co_await timing awaitables:
 //
 //   co_await eng.delay(10 * kMicrosecond);   // charge CPU / device time
@@ -9,11 +9,21 @@
 //
 // Determinism: ties in time resume in insertion order; no wall-clock or
 // thread scheduling is involved anywhere.
+//
+// Two-tier scheduler (DESIGN.md §11): resumptions scheduled *at the
+// current time* — schedule_now(), yield(), zero delays, same-time
+// wakeups from queue arbitration and fabric hops, which dominate real
+// runs — go to a FIFO "now ring" with O(1) push/pop instead of the
+// O(log n) binary heap, which only holds strictly-future timestamps.
+// The global insertion sequence keeps the dispatch order bit-identical
+// to a single (time, seq) priority queue: ring entries are always newer
+// (larger seq) than any heap entry that matured to the same timestamp,
+// and the dispatch loop drains matured heap entries first.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
-#include <queue>
+#include <functional>
 #include <vector>
 
 #include "common/status.h"
@@ -24,7 +34,10 @@ namespace nvmecr::sim {
 
 class Engine {
  public:
-  Engine() = default;
+  Engine() {
+    heap_.reserve(kInitialCapacity);
+    ring_.resize(kInitialCapacity);
+  }
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -34,8 +47,14 @@ class Engine {
 
   /// Schedules `h` to resume at absolute time `t` (clamped to now).
   void schedule_at(SimTime t, std::coroutine_handle<> h) {
-    if (t < now_) t = now_;
-    queue_.push(Item{t, seq_++, h});
+    if (t <= now_) {
+      if (now_ring_enabled_) {
+        ring_push(Ready{seq_++, h});
+        return;
+      }
+      t = now_;
+    }
+    heap_push(Item{t, seq_++, h});
   }
 
   /// Schedules `h` to resume at the current time, after already-queued
@@ -63,21 +82,21 @@ class Engine {
   SimTime run_until(SimTime deadline);
 
   /// Spawns `task`, runs the engine to quiescence, and returns the task's
-  /// result. CHECK-fails if the task deadlocks (engine drained while the
-  /// task is still pending).
+  /// result. Aborts with scheduler context if the task deadlocks (engine
+  /// drained while the task is still pending).
   template <typename T>
   T run_task(Task<T> task) {
     std::optional<T> out;
     spawn(capture_result(std::move(task), out));
     run();
-    NVMECR_CHECK(out.has_value());
+    if (!out.has_value()) die_deadlocked("run_task<T>");
     return std::move(*out);
   }
   void run_task(Task<void> task) {
     bool done = false;
     spawn(mark_done(std::move(task), done));
     run();
-    NVMECR_CHECK(done);
+    if (!done) die_deadlocked("run_task<void>");
   }
 
   /// Number of spawned root tasks that have not yet completed. Nonzero
@@ -85,15 +104,47 @@ class Engine {
   /// never fires).
   int live_roots() const { return live_roots_; }
 
+  // --- host-performance observability ---------------------------------
+  /// Total resumptions dispatched by the run loop.
+  uint64_t events_dispatched() const { return events_dispatched_; }
+  /// Dispatches served from the O(1) now ring (vs the binary heap).
+  uint64_t now_ring_hits() const { return now_ring_hits_; }
+
+  /// Disables the now ring so every event goes through the heap — the
+  /// pre-two-tier dispatch path. The schedule must be bit-identical
+  /// either way; perf_suite uses this as its in-process baseline and the
+  /// determinism regression test asserts the equivalence. Only call on a
+  /// quiescent engine (empty ring).
+  void set_now_ring_enabled(bool enabled) {
+    NVMECR_CHECK(ring_size_ == 0);
+    now_ring_enabled_ = enabled;
+  }
+  bool now_ring_enabled() const { return now_ring_enabled_; }
+
+  /// Test hook: called once per dispatched event with (time, seq) before
+  /// the resumption runs. Used by the determinism golden-trace test;
+  /// null (the default) costs one branch per event.
+  void set_dispatch_probe(std::function<void(SimTime, uint64_t)> probe) {
+    dispatch_probe_ = std::move(probe);
+  }
+
  private:
+  static constexpr size_t kInitialCapacity = 256;
+
   struct Item {
     SimTime time;
     uint64_t seq;
     std::coroutine_handle<> handle;
-    bool operator>(const Item& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
+    /// Min-heap order: earliest time first, FIFO within a time.
+    bool earlier_than(const Item& other) const {
+      if (time != other.time) return time < other.time;
+      return seq < other.seq;
     }
+  };
+
+  struct Ready {
+    uint64_t seq;
+    std::coroutine_handle<> handle;
   };
 
   struct SleepAwaiter {
@@ -115,15 +166,46 @@ class Engine {
     done = true;
   }
 
+  // --- intrusive binary min-heap over a reserve()d vector --------------
+  // (std::priority_queue hides its container, which prevents reserving
+  // and costs an extra indirection on the hottest host path.)
+  void heap_push(Item item);
+  Item heap_pop();
+
+  // --- growable circular FIFO for same-time resumptions ----------------
+  void ring_push(Ready r);
+  Ready ring_pop() {
+    Ready r = ring_[ring_head_];
+    ring_head_ = (ring_head_ + 1) & (ring_.size() - 1);
+    --ring_size_;
+    return r;
+  }
+  void ring_grow();
+
+  void dispatch(SimTime t, uint64_t seq, std::coroutine_handle<> h) {
+    ++events_dispatched_;
+    if (dispatch_probe_) dispatch_probe_(t, seq);
+    if (!h.done()) h.resume();
+  }
+
   /// Destroys frames of completed root tasks (they park at final_suspend
   /// with no continuation).
   void reap_finished_roots();
 
-  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue_;
+  [[noreturn]] void die_deadlocked(const char* where) const;
+
+  std::vector<Item> heap_;          // binary min-heap, future timestamps
+  std::vector<Ready> ring_;         // power-of-two circular buffer
+  size_t ring_head_ = 0;
+  size_t ring_size_ = 0;
   std::vector<std::coroutine_handle<>> pending_destroy_;
   SimTime now_ = 0;
   uint64_t seq_ = 0;
   int live_roots_ = 0;
+  bool now_ring_enabled_ = true;
+  uint64_t events_dispatched_ = 0;
+  uint64_t now_ring_hits_ = 0;
+  std::function<void(SimTime, uint64_t)> dispatch_probe_;
 };
 
 }  // namespace nvmecr::sim

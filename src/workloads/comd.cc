@@ -245,6 +245,7 @@ StatusOr<JobMetrics> ComdDriver::run(nvmecr_rt::Cluster& cluster,
                         state));
   }
   eng.run();
+  cluster.export_run_metrics();
   if (!state.first_error.ok()) return state.first_error;
   NVMECR_CHECK(eng.live_roots() == 0);
 

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "common/crc.h"
 #include "common/log.h"
@@ -265,6 +266,32 @@ TEST(CrcTest, SeedChaining) {
   const uint64_t c1 = crc64(a, 5);
   const uint64_t chained = crc64(b, 5, c1);
   EXPECT_NE(chained, crc64(b, 5));
+}
+
+TEST(CrcTest, Crc64XzCheckValue) {
+  // The CRC-64/XZ parameterization's published check value.
+  const char msg[] = "123456789";
+  EXPECT_EQ(crc64(msg, 9), 0x995DC9BBDF1939FAull);
+  EXPECT_EQ(detail::crc64_reference(msg, 9), 0x995DC9BBDF1939FAull);
+}
+
+// The slice-by-16 hot path must be bit-identical to the byte-at-a-time
+// reference for every length class (tail handling: 16-byte groups, an
+// 8-byte group, then single bytes), alignment, and seed.
+TEST(CrcTest, SlicedMatchesReference) {
+  Rng rng(1234);
+  std::vector<unsigned char> buf(1024);
+  for (auto& b : buf) b = static_cast<unsigned char>(rng.uniform(256));
+  for (size_t len : {0ul, 1ul, 7ul, 8ul, 9ul, 15ul, 16ul, 17ul, 31ul, 32ul,
+                     63ul, 100ul, 255ul, 256ul, 1000ul}) {
+    for (size_t shift : {0ul, 1ul, 3ul, 8ul}) {
+      for (uint64_t seed : {0ull, 1ull, 0xdeadbeefcafef00dull}) {
+        ASSERT_EQ(crc64(buf.data() + shift, len, seed),
+                  detail::crc64_reference(buf.data() + shift, len, seed))
+            << "len=" << len << " shift=" << shift << " seed=" << seed;
+      }
+    }
+  }
 }
 
 TEST(TablePrinterTest, FormatsNumbers) {

@@ -172,6 +172,128 @@ TEST(PayloadStorePropertyTest, RandomPatternsMatchBlockModel) {
   EXPECT_EQ(*tag, expect);
 }
 
+// Fragmentation stress: random pattern/byte overwrite churn across an
+// aligned block space, interleaved with tag reads (exercising the
+// whole-extent tag cache and its invalidation), validating
+// bytes_stored() and combined tags against a naive per-block reference
+// at every step.
+TEST(PayloadStorePropertyTest, FragmentationChurnMatchesNaiveReference) {
+  constexpr uint32_t kBs = 4096;
+  constexpr uint64_t kBlocks = 256;
+  PayloadStore store(kBs);
+  // Per-block reference: 0 = unwritten, positive = pattern seed,
+  // negative = byte block filled with -(value).
+  std::vector<int64_t> ref(kBlocks, 0);
+  Rng rng(20260807);
+
+  auto ref_block_tag = [&](uint64_t b) -> uint64_t {
+    if (ref[b] == 0) return 0;
+    if (ref[b] > 0) {
+      return PayloadStore::block_tag(static_cast<uint64_t>(ref[b]), b);
+    }
+    const auto fill = static_cast<unsigned char>(-ref[b]);
+    const std::vector<std::byte> content = make_bytes(kBs, fill);
+    return fnv1a(content.data(), content.size());
+  };
+
+  for (int iter = 0; iter < 2000; ++iter) {
+    const uint64_t b0 = rng.uniform(kBlocks);
+    const uint64_t nb = 1 + rng.uniform(kBlocks - b0);
+    const uint64_t op = rng.uniform(10);
+    if (op < 6) {
+      const int64_t seed = 1 + static_cast<int64_t>(rng.uniform(4));
+      ASSERT_TRUE(store.write_pattern(b0 * kBs, nb * kBs, seed).ok());
+      for (uint64_t b = b0; b < b0 + nb; ++b) ref[b] = seed;
+    } else if (op < 9) {
+      const auto fill = static_cast<unsigned char>(1 + rng.uniform(200));
+      store.write_bytes(b0 * kBs, make_bytes(nb * kBs, fill));
+      for (uint64_t b = b0; b < b0 + nb; ++b) ref[b] = -int64_t{fill};
+    } else {
+      uint64_t expect = 0;
+      for (uint64_t b = b0; b < b0 + nb; ++b) expect += ref_block_tag(b);
+      auto tag = store.read_combined_tag(b0 * kBs, nb * kBs);
+      ASSERT_TRUE(tag.ok());
+      ASSERT_EQ(*tag, expect) << "iter " << iter;
+    }
+    uint64_t written_blocks = 0;
+    for (uint64_t b = 0; b < kBlocks; ++b) written_blocks += ref[b] != 0;
+    ASSERT_EQ(store.bytes_stored(), written_blocks * kBs) << "iter " << iter;
+    ASSERT_LE(store.extent_count(), kBlocks);
+  }
+  // Final whole-range sweep: cold pass fills every extent's cache, warm
+  // pass must serve every extent from it with an identical result.
+  uint64_t expect = 0;
+  for (uint64_t b = 0; b < kBlocks; ++b) expect += ref_block_tag(b);
+  auto cold = store.read_combined_tag(0, kBlocks * kBs);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(*cold, expect);
+  const uint64_t hits_before = store.tag_cache_hits();
+  auto warm = store.read_combined_tag(0, kBlocks * kBs);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(*warm, *cold);
+  EXPECT_EQ(store.tag_cache_hits() - hits_before, store.extent_count());
+}
+
+TEST(PayloadStoreTest, TagCacheHitsAndInvalidation) {
+  constexpr uint32_t kBs = 4096;
+  PayloadStore store(kBs);
+  ASSERT_TRUE(store.write_pattern(0, 64 * kBs, 9).ok());
+  ASSERT_EQ(store.extent_count(), 1u);
+
+  auto t1 = store.read_combined_tag(0, 64 * kBs);  // fills the cache
+  ASSERT_TRUE(t1.ok());
+  EXPECT_EQ(store.tag_cache_hits(), 0u);
+  auto t2 = store.read_combined_tag(0, 64 * kBs);  // served from cache
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(store.tag_cache_hits(), 1u);
+  EXPECT_EQ(*t1, *t2);
+
+  // Partial reads bypass the cache but stay correct.
+  auto part = store.read_combined_tag(4 * kBs, 8 * kBs);
+  ASSERT_TRUE(part.ok());
+  EXPECT_EQ(*part, PayloadStore::expected_tag(9, 4 * kBs, 8 * kBs, kBs));
+  EXPECT_EQ(store.tag_cache_hits(), 1u);
+
+  // Overwriting the middle splits the extent and invalidates caches; the
+  // recomputed tag must reflect the new content.
+  ASSERT_TRUE(store.write_pattern(16 * kBs, 4 * kBs, 11).ok());
+  auto t3 = store.read_combined_tag(0, 64 * kBs);
+  ASSERT_TRUE(t3.ok());
+  uint64_t expect = 0;
+  for (uint64_t b = 0; b < 64; ++b) {
+    expect += PayloadStore::block_tag(b >= 16 && b < 20 ? 11 : 9, b);
+  }
+  EXPECT_EQ(*t3, expect);
+
+  // Appending with the same seed extends the last extent in place and
+  // must invalidate its cached tag too.
+  auto whole1 = store.read_combined_tag(20 * kBs, 44 * kBs);
+  ASSERT_TRUE(whole1.ok());
+  ASSERT_TRUE(store.write_pattern(64 * kBs, 4 * kBs, 9).ok());
+  auto tail = store.read_combined_tag(20 * kBs, 48 * kBs);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(*tail, PayloadStore::expected_tag(9, 20 * kBs, 48 * kBs, kBs));
+}
+
+TEST(PayloadStoreTest, AppendFastPathKeepsMergeAndAccounting) {
+  constexpr uint32_t kBs = 4096;
+  PayloadStore store(kBs);
+  // Sequential same-seed appends collapse into one extent (the carve-free
+  // fast path must preserve merging).
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store.write_pattern(i * 4 * kBs, 4 * kBs, 3).ok());
+  }
+  EXPECT_EQ(store.extent_count(), 1u);
+  EXPECT_EQ(store.bytes_stored(), 400ull * kBs);
+  // Append past a gap: no merge, still exact accounting.
+  ASSERT_TRUE(store.write_pattern(1000 * kBs, 4 * kBs, 3).ok());
+  EXPECT_EQ(store.extent_count(), 2u);
+  EXPECT_EQ(store.bytes_stored(), 404ull * kBs);
+  auto tag = store.read_combined_tag(0, 400 * kBs);
+  ASSERT_TRUE(tag.ok());
+  EXPECT_EQ(*tag, PayloadStore::expected_tag(3, 0, 400 * kBs, kBs));
+}
+
 // ---------------------------------------------------------------------
 // NvmeSsd
 // ---------------------------------------------------------------------

@@ -349,6 +349,93 @@ TEST(OpLogTest, ScanFiltersByEpoch) {
   }(f));
 }
 
+// ---------------------------------------------------------------------
+// Group commit (deferred coalesced rewrites)
+// ---------------------------------------------------------------------
+
+TEST(OpLogGroupCommitTest, CoalescedExtensionsDeferDeviceWrites) {
+  LogFixture f;
+  f.eng.run_task([](LogFixture& fx) -> sim::Task<void> {
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_TRUE((co_await fx.log.append(
+                       write_rec(5, static_cast<uint64_t>(i) * 1000, 1000)))
+                      .ok());
+    }
+    // 1 new-slot write; the 19 extensions are deferred, not on device.
+    EXPECT_EQ(fx.log.counters().bytes_written, OpLog::kRecordBytes);
+    EXPECT_EQ(fx.log.dirty_slots(), 1u);
+    EXPECT_EQ(fx.log.counters().group_commits, 0u);
+
+    // The flush drains the dirty slot in one batch.
+    EXPECT_TRUE((co_await fx.log.flush()).ok());
+    EXPECT_EQ(fx.log.dirty_slots(), 0u);
+    EXPECT_EQ(fx.log.counters().group_commits, 1u);
+    EXPECT_EQ(fx.log.counters().bytes_written, 2u * OpLog::kRecordBytes);
+
+    // The scanned record carries the full coalesced range.
+    auto scanned = co_await OpLog::scan(fx.dev, 0, 64, 0);
+    EXPECT_TRUE(scanned.ok());
+    if (!scanned.ok() || scanned->size() != 1u) co_return;
+    EXPECT_EQ((*scanned)[0].second.a, 0u);
+    EXPECT_EQ((*scanned)[0].second.b, 20000u);
+
+    // A second flush with nothing dirty is a free no-op.
+    EXPECT_TRUE((co_await fx.log.flush()).ok());
+    EXPECT_EQ(fx.log.counters().group_commits, 1u);
+    EXPECT_EQ(fx.log.counters().bytes_written, 2u * OpLog::kRecordBytes);
+  }(f));
+}
+
+TEST(OpLogGroupCommitTest, NewSlotAppendDrainsPendingDeferred) {
+  LogFixture f;
+  f.eng.run_task([](LogFixture& fx) -> sim::Task<void> {
+    EXPECT_TRUE((co_await fx.log.append(write_rec(5, 0, 100))).ok());
+    EXPECT_TRUE((co_await fx.log.append(write_rec(5, 100, 100))).ok());
+    EXPECT_EQ(fx.log.dirty_slots(), 1u);
+    // A different file's append takes a new slot — the pending deferred
+    // rewrite rides the same drain (adjacent slots: one submission).
+    EXPECT_TRUE((co_await fx.log.append(write_rec(6, 0, 100))).ok());
+    EXPECT_EQ(fx.log.dirty_slots(), 0u);
+    EXPECT_EQ(fx.log.counters().group_commits, 1u);
+    auto scanned = co_await OpLog::scan(fx.dev, 0, 64, 0);
+    EXPECT_TRUE(scanned.ok());
+    if (!scanned.ok() || scanned->size() != 2u) co_return;
+    EXPECT_EQ((*scanned)[0].second.b, 200u);  // extension made durable
+  }(f));
+}
+
+TEST(OpLogGroupCommitTest, ScanBeforeFlushSeesStaleRecordNotCorruption) {
+  // The documented durability contract: an unflushed extension is simply
+  // absent from the device (the pre-extension record is intact) — a
+  // crash loses the tail extension, never log integrity.
+  LogFixture f;
+  f.eng.run_task([](LogFixture& fx) -> sim::Task<void> {
+    EXPECT_TRUE((co_await fx.log.append(write_rec(5, 0, 100))).ok());
+    EXPECT_TRUE((co_await fx.log.append(write_rec(5, 100, 100))).ok());
+    auto scanned = co_await OpLog::scan(fx.dev, 0, 64, 0);
+    EXPECT_TRUE(scanned.ok());
+    if (!scanned.ok() || scanned->size() != 1u) co_return;
+    EXPECT_EQ((*scanned)[0].second.b, 100u);  // pre-extension content
+  }(f));
+}
+
+TEST(OpLogGroupCommitTest, TruncateDropsDirtyOfDiscardedEpoch) {
+  LogFixture f;
+  f.eng.run_task([](LogFixture& fx) -> sim::Task<void> {
+    EXPECT_TRUE((co_await fx.log.append(write_rec(5, 0, 100))).ok());
+    EXPECT_TRUE((co_await fx.log.append(write_rec(5, 100, 100))).ok());
+    EXPECT_EQ(fx.log.dirty_slots(), 1u);
+    const uint32_t e = fx.log.begin_epoch();
+    fx.log.truncate_before(e);
+    // The deferred rewrite belonged to the truncated epoch: dropped, and
+    // a later flush must not touch the (now reusable) slot.
+    EXPECT_EQ(fx.log.dirty_slots(), 0u);
+    const uint64_t bytes_before = fx.log.counters().bytes_written;
+    EXPECT_TRUE((co_await fx.log.flush()).ok());
+    EXPECT_EQ(fx.log.counters().bytes_written, bytes_before);
+  }(f));
+}
+
 TEST(OpLogTest, RestoreContinuesAppending) {
   LogFixture f;
   f.eng.run_task([](LogFixture& fx) -> sim::Task<void> {

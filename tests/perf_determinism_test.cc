@@ -1,0 +1,119 @@
+// Determinism regression tests for the two-tier scheduler (DESIGN.md
+// §11): the now-ring is a pure performance optimization and must never
+// change *what* the simulation computes. These tests pin that down at
+// full-system scale — a fig07-style CoMD run over the real NVMe-CR
+// stack — by fingerprinting the complete dispatch schedule.
+#include <cstdint>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "workloads/comd.h"
+
+namespace nvmecr {
+namespace {
+
+using bench::default_runtime_config;
+using bench::partition_for;
+using bench::weak_scaling_params;
+using nvmecr_rt::Cluster;
+using nvmecr_rt::NvmecrSystem;
+using nvmecr_rt::Scheduler;
+using workloads::ComdDriver;
+using workloads::ComdParams;
+
+/// Order-sensitive digest of the full (time, seq) dispatch stream plus
+/// the run's observable outcome. Any reordering — even a swap of two
+/// same-time events — changes `hash`.
+struct RunFingerprint {
+  uint64_t hash = 1469598103934665603ull;  // FNV offset basis
+  uint64_t events = 0;
+  SimTime final_time = 0;
+  SimDuration total_time = 0;
+  double efficiency = 0.0;
+
+  bool operator==(const RunFingerprint&) const = default;
+};
+
+// Golden values for run_fingerprinted(true, 28, 2); see
+// GoldenScheduleFingerprint for the update procedure.
+constexpr uint64_t kGoldenHash = 14420470303207938882ull;
+constexpr uint64_t kGoldenEvents = 79094;
+constexpr SimTime kGoldenFinalTime = 7434117816;
+
+RunFingerprint run_fingerprinted(bool ring_enabled, uint32_t nranks,
+                                 uint32_t checkpoints) {
+  ComdParams params = weak_scaling_params(nranks);
+  params.checkpoints = checkpoints;
+
+  Cluster cluster;
+  cluster.engine().set_now_ring_enabled(ring_enabled);
+  RunFingerprint fp;
+  SimTime last_time = 0;
+  uint64_t last_seq = 0;
+  bool first = true;
+  cluster.engine().set_dispatch_probe([&](SimTime t, uint64_t seq) {
+    // The dispatch order must be monotone in (time, seq) regardless of
+    // which tier an event came from.
+    EXPECT_TRUE(first || t > last_time || (t == last_time && seq > last_seq))
+        << "dispatch out of order at t=" << t << " seq=" << seq;
+    first = false;
+    last_time = t;
+    last_seq = seq;
+    fp.hash = mix64(fp.hash ^ mix64(static_cast<uint64_t>(t)));
+    fp.hash = mix64(fp.hash ^ seq);
+    ++fp.events;
+  });
+
+  Scheduler sched(cluster);
+  auto job = sched.allocate(params.nranks, params.procs_per_node,
+                            partition_for(params), /*num_ssds=*/4);
+  NVMECR_CHECK(job.ok());
+  NvmecrSystem system(cluster, *job, default_runtime_config());
+  auto m = ComdDriver::run(cluster, system, params);
+  NVMECR_CHECK(m.ok());
+
+  fp.final_time = cluster.engine().now();
+  fp.total_time = m->total_time;
+  fp.efficiency = m->checkpoint_efficiency();
+  return fp;
+}
+
+TEST(PerfDeterminismTest, RepeatedRunsAreBitIdentical) {
+  const RunFingerprint a = run_fingerprinted(true, 28, 2);
+  const RunFingerprint b = run_fingerprinted(true, 28, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.events, 0u);
+}
+
+TEST(PerfDeterminismTest, RingOnAndRingOffProduceIdenticalSchedules) {
+  // The tentpole invariant: the now-ring changes only *where* ready
+  // events wait, never the (time, seq) dispatch order — so the full
+  // event trace, final clock, and job metrics are all bit-identical.
+  const RunFingerprint on = run_fingerprinted(true, 28, 2);
+  const RunFingerprint off = run_fingerprinted(false, 28, 2);
+  EXPECT_EQ(on, off);
+}
+
+TEST(PerfDeterminismTest, RingOnAndRingOffAgreeAtTwoNodes) {
+  const RunFingerprint on = run_fingerprinted(true, 56, 2);
+  const RunFingerprint off = run_fingerprinted(false, 56, 2);
+  EXPECT_EQ(on, off);
+}
+
+TEST(PerfDeterminismTest, GoldenScheduleFingerprint) {
+  // Golden (time, seq) trace over a fig07-style run, pinned so an
+  // unintended scheduling change anywhere in the stack (engine, sync
+  // primitives, devices, fabric) fails loudly. If a change to the
+  // simulation is *intentional*, re-run this test and update the
+  // constants from the failure output.
+  const RunFingerprint fp = run_fingerprinted(true, 28, 2);
+  EXPECT_EQ(fp.hash, kGoldenHash) << "events=" << fp.events
+                                  << " final_time=" << fp.final_time;
+  EXPECT_EQ(fp.events, kGoldenEvents);
+  EXPECT_EQ(fp.final_time, kGoldenFinalTime);
+}
+
+}  // namespace
+}  // namespace nvmecr

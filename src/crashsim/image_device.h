@@ -1,0 +1,81 @@
+// Zero-latency block device materialized from a crash snapshot.
+//
+// The crash explorer replays a prefix of the recorded mutation journal
+// into one of these and hands it to MicroFs::recover(). It is a
+// RamDevice with one extra twist: an origin shift. The recorded device
+// is usually a PartitionView (tag_origin() != 0) or an SSD queue, and
+// pattern tags are a function of the *absolute* block index, so the
+// image must report the same tag_origin and store its content at the
+// same absolute offsets — otherwise every tagged read of the recovered
+// state would fail verification for the wrong reason.
+#pragma once
+
+#include "hw/block_device.h"
+#include "hw/payload_store.h"
+
+namespace nvmecr::crashsim {
+
+class ImageDevice final : public hw::BlockDevice {
+ public:
+  /// An empty image with the same geometry as the recorded device.
+  ImageDevice(uint64_t capacity, uint32_t block_size, uint64_t tag_origin)
+      : capacity_(capacity), origin_(tag_origin), store_(block_size) {}
+
+  uint64_t capacity() const override { return capacity_; }
+  uint32_t hw_block_size() const override { return store_.block_size(); }
+  uint64_t tag_origin() const override { return origin_; }
+
+  sim::Task<Status> write(uint64_t offset,
+                          std::span<const std::byte> data) override {
+    if (offset + data.size() > capacity_) {
+      co_return InvalidArgumentError("image write beyond device end");
+    }
+    store_.write_bytes(origin_ + offset, data);
+    co_return OkStatus();
+  }
+
+  sim::Task<Status> read(uint64_t offset, std::span<std::byte> out) override {
+    if (offset + out.size() > capacity_) {
+      co_return InvalidArgumentError("image read beyond device end");
+    }
+    co_return store_.read_bytes(origin_ + offset, out);
+  }
+
+  sim::Task<Status> write_tagged(uint64_t offset, uint64_t len,
+                                 uint64_t seed) override {
+    if (offset + len > capacity_) {
+      co_return InvalidArgumentError("image write beyond device end");
+    }
+    co_return store_.write_pattern(origin_ + offset, len, seed);
+  }
+
+  sim::Task<StatusOr<uint64_t>> read_tagged(uint64_t offset,
+                                            uint64_t len) override {
+    if (offset + len > capacity_) {
+      co_return StatusOr<uint64_t>(
+          InvalidArgumentError("image read beyond device end"));
+    }
+    co_return store_.read_combined_tag(origin_ + offset, len);
+  }
+
+  sim::Task<Status> flush() override { co_return OkStatus(); }
+
+  /// Synchronous journal-replay hooks: crash materialization happens
+  /// outside the simulation, so the recorder writes the snapshot content
+  /// directly instead of spinning up an engine per crash state.
+  void write_bytes_raw(uint64_t offset, std::span<const std::byte> data) {
+    store_.write_bytes(origin_ + offset, data);
+  }
+  Status write_pattern_raw(uint64_t offset, uint64_t len, uint64_t seed) {
+    return store_.write_pattern(origin_ + offset, len, seed);
+  }
+
+  const hw::PayloadStore& payload() const { return store_; }
+
+ private:
+  uint64_t capacity_;
+  uint64_t origin_;
+  hw::PayloadStore store_;
+};
+
+}  // namespace nvmecr::crashsim

@@ -1,0 +1,106 @@
+// Persistence-boundary recorder: a BlockDevice interposer that journals
+// every successful mutation and marks every point where the hardware
+// state could be frozen by a crash.
+//
+// A *boundary* is a moment at which power loss yields a well-defined
+// device state: the completion of a write command (all content of that
+// command durable — the simulated SSD's RAM is capacitor-backed, so
+// acknowledged means durable), the completion of a flush, and queue
+// teardown. Between two boundaries the only additional states are the
+// *torn* variants of the in-flight write: an arbitrary prefix of its
+// hardware sectors made it to the medium, the rest did not. The recorder
+// captures enough to reconstruct every one of those states:
+//
+//   journal:   ordered list of successful mutations (bytes or pattern)
+//   boundaries: (kind, #mutations durable at that point)
+//
+// materialize(b, torn) replays mutations [0, b.mutations) into a fresh
+// ImageDevice; a nonzero `torn` instead replays [0, b.mutations-1) fully
+// plus only the first `torn` hardware sectors of the last one — the
+// state "the crash hit mid-command". The explorer (explore.h) walks all
+// of these and runs recovery + fsck on each.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "crashsim/image_device.h"
+#include "hw/block_device.h"
+
+namespace nvmecr::crashsim {
+
+enum class BoundaryKind : uint8_t {
+  kWrite = 1,     // a write command completed
+  kFlush = 2,     // a durability barrier completed
+  kTeardown = 3,  // the queue was torn down cleanly (end of recording)
+};
+
+struct Boundary {
+  BoundaryKind kind = BoundaryKind::kWrite;
+  /// Number of journal mutations durable at this point.
+  size_t mutations = 0;
+};
+
+class RecordingDevice final : public hw::BlockDevice {
+ public:
+  explicit RecordingDevice(hw::BlockDevice& inner) : inner_(inner) {}
+
+  uint64_t capacity() const override { return inner_.capacity(); }
+  uint32_t hw_block_size() const override { return inner_.hw_block_size(); }
+  uint64_t tag_origin() const override { return inner_.tag_origin(); }
+
+  sim::Task<Status> write(uint64_t offset,
+                          std::span<const std::byte> data) override;
+  sim::Task<Status> read(uint64_t offset, std::span<std::byte> out) override;
+  sim::Task<Status> write_tagged(uint64_t offset, uint64_t len,
+                                 uint64_t seed) override;
+  sim::Task<StatusOr<uint64_t>> read_tagged(uint64_t offset,
+                                            uint64_t len) override;
+  sim::Task<Status> write_tagged_batch(uint64_t offset, uint64_t len,
+                                       uint64_t seed,
+                                       uint32_t subcmds) override;
+  sim::Task<StatusOr<uint64_t>> read_tagged_batch(uint64_t offset,
+                                                  uint64_t len,
+                                                  uint32_t subcmds) override;
+  sim::Task<Status> flush() override;
+
+  /// Marks the clean end of the recorded run (close of the workload).
+  void record_teardown() {
+    boundaries_.push_back({BoundaryKind::kTeardown, journal_.size()});
+  }
+
+  const std::vector<Boundary>& boundaries() const { return boundaries_; }
+  size_t journal_size() const { return journal_.size(); }
+
+  /// Hardware sectors the boundary's last mutation spans; tearing is
+  /// only meaningful for boundaries whose final write covers > 1 sector.
+  uint64_t last_mutation_sectors(const Boundary& b) const;
+
+  /// Device state at `boundary`, optionally torn: `torn_sectors` > 0
+  /// replays only the first `torn_sectors` hardware sectors of the
+  /// boundary's final mutation (must be < last_mutation_sectors).
+  std::unique_ptr<ImageDevice> materialize(const Boundary& boundary,
+                                           uint64_t torn_sectors = 0) const;
+
+ private:
+  struct Mutation {
+    uint64_t offset = 0;  // device-local offset
+    uint64_t len = 0;
+    bool is_pattern = false;
+    uint64_t seed = 0;                // pattern mutations
+    std::vector<std::byte> bytes;     // byte mutations (bytes.size() == len)
+  };
+
+  void journal_bytes(uint64_t offset, std::span<const std::byte> data);
+  void journal_pattern(uint64_t offset, uint64_t len, uint64_t seed);
+  void mark_write_boundary() {
+    boundaries_.push_back({BoundaryKind::kWrite, journal_.size()});
+  }
+
+  hw::BlockDevice& inner_;
+  std::vector<Mutation> journal_;
+  std::vector<Boundary> boundaries_;
+};
+
+}  // namespace nvmecr::crashsim

@@ -1,0 +1,50 @@
+// Seeded property-based microfs workload generator.
+//
+// Drives a MicroFs instance through a deterministic pseudo-random mix of
+// namespace and data operations (create/write/extend/fsync/close/
+// unlink/rename/mkdir/explicit checkpoint). The same (spec, seed) always
+// produces the same operation sequence, so a failing crash state is
+// reproduced by re-running the explorer with the printed seed.
+//
+// The generator keeps its own shadow model (directories, files, open
+// fds) so it only issues calls that are *supposed* to succeed; any
+// error bubbling out of the filesystem is therefore a real finding, not
+// generator noise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "microfs/microfs.h"
+
+namespace nvmecr::crashsim {
+
+struct WorkloadSpec {
+  uint64_t seed = 1;
+  /// Number of generated operations (not counting the final closes).
+  uint32_t ops = 64;
+  uint32_t max_files = 24;
+  uint32_t max_dirs = 6;
+  /// Per-write length is uniform in [1, max_write].
+  uint64_t max_write = 96 * 1024;
+  /// Path prefix for everything this run creates ("" = filesystem
+  /// root); lets churn tests run many rounds in one namespace.
+  std::string prefix;
+
+  // Relative operation weights (zero disables the op).
+  uint32_t w_create = 5;
+  uint32_t w_write = 10;
+  uint32_t w_fsync = 2;
+  uint32_t w_close = 3;
+  uint32_t w_unlink = 2;
+  uint32_t w_rename = 2;
+  uint32_t w_mkdir = 1;
+  uint32_t w_checkpoint = 1;
+};
+
+/// Runs the workload to completion (all fds closed at the end). Returns
+/// the number of operations actually issued.
+sim::Task<StatusOr<uint32_t>> run_workload(microfs::MicroFs& fs,
+                                           const WorkloadSpec& spec);
+
+}  // namespace nvmecr::crashsim

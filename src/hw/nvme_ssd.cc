@@ -279,7 +279,9 @@ sim::Task<Status> NvmeSsd::submit(Command cmd, uint64_t* tag_out) {
   }
 
   co_await engine_.sleep_until(completion);
-  if (inject_errors_ > 0) {
+  if (inject_after_ > 0) {
+    --inject_after_;
+  } else if (inject_errors_ > 0) {
     --inject_errors_;
     co_return IoError("injected media error on " + name_);
   }

@@ -90,9 +90,14 @@ class NvmeSsd {
   sim::Task<Status> submit(Command cmd, uint64_t* tag_out = nullptr);
 
   // --- fault injection (tests + failure-handling benches) -------------
-  /// Fails the next `count` submitted commands with kIoError (after
-  /// charging their normal latency — a realistic media error).
-  void inject_io_errors(uint32_t count) { inject_errors_ = count; }
+  /// Fails `count` commands with kIoError after letting the next `after`
+  /// commands through clean (both after charging normal latency — a
+  /// realistic media error). `after` lets tests aim a burst at a precise
+  /// point deep inside a multi-IO operation, e.g. mid-recover().
+  void inject_io_errors(uint32_t count, uint32_t after = 0) {
+    inject_errors_ = count;
+    inject_after_ = after;
+  }
   /// Marks the whole device failed: every subsequent command errors
   /// immediately (models an SSD/node loss for fault-tolerance tests).
   void fail_device() { device_failed_ = true; }
@@ -146,6 +151,7 @@ class NvmeSsd {
   PayloadStore store_;
   SsdCounters counters_;
   uint32_t inject_errors_ = 0;
+  uint32_t inject_after_ = 0;
   bool device_failed_ = false;
 
   // Observability (all null/empty when detached; see obs/observer.h).

@@ -140,6 +140,44 @@ class BpTree {
            size_ * (sizeof(Key) + sizeof(Value));
   }
 
+  /// Structural invariant check (microfs fsck): strict key ordering,
+  /// separator bounds, occupancy limits, uniform leaf depth, and a leaf
+  /// chain that visits exactly size() keys in ascending order. Separator
+  /// keys are validated as *bounds* on their subtrees, not equalities —
+  /// erasing a leaf's smallest key legitimately leaves the old separator
+  /// behind as a lower bound.
+  Status validate() const {
+    if (!root_) {
+      if (size_ != 0) return CorruptionError("bptree: null root, size != 0");
+      if (height_ != 0) {
+        return CorruptionError("bptree: null root, height != 0");
+      }
+      return OkStatus();
+    }
+    size_t leaf_keys = 0;
+    NVMECR_RETURN_IF_ERROR(
+        validate_node(root_.get(), 1, nullptr, nullptr, leaf_keys));
+    if (leaf_keys != size_) {
+      return CorruptionError("bptree: size disagrees with leaf key count");
+    }
+    size_t chained = 0;
+    const Key* prev = nullptr;
+    for (const Node* leaf = leftmost_leaf(); leaf != nullptr;
+         leaf = leaf->next) {
+      for (const Key& k : leaf->keys) {
+        if (prev != nullptr && !(*prev < k)) {
+          return CorruptionError("bptree: leaf chain out of order");
+        }
+        prev = &k;
+        ++chained;
+      }
+    }
+    if (chained != size_) {
+      return CorruptionError("bptree: leaf chain misses keys");
+    }
+    return OkStatus();
+  }
+
  private:
   struct Node {
     explicit Node(bool is_leaf) : leaf(is_leaf) {}
@@ -329,6 +367,63 @@ class BpTree {
     parent->children.erase(parent->children.begin() +
                            static_cast<ptrdiff_t>(i) + 1);
     --node_count_;
+  }
+
+  Status validate_node(const Node* node, int depth, const Key* lower,
+                       const Key* upper, size_t& leaf_keys) const {
+    const bool is_root = node == root_.get();
+    for (size_t i = 0; i + 1 < node->keys.size(); ++i) {
+      if (!(node->keys[i] < node->keys[i + 1])) {
+        return CorruptionError("bptree: keys not strictly ascending");
+      }
+    }
+    for (const Key& k : node->keys) {
+      if (lower != nullptr && k < *lower) {
+        return CorruptionError("bptree: key below subtree bound");
+      }
+      if (upper != nullptr && !(k < *upper)) {
+        return CorruptionError("bptree: key above subtree bound");
+      }
+    }
+    if (node->leaf) {
+      if (depth != height_) return CorruptionError("bptree: uneven depth");
+      if (!node->children.empty()) {
+        return CorruptionError("bptree: leaf with children");
+      }
+      if (node->values.size() != node->keys.size()) {
+        return CorruptionError("bptree: leaf key/value arity");
+      }
+      if (node->keys.size() >= Fanout) {
+        return CorruptionError("bptree: overfull leaf");
+      }
+      const size_t min_keys = is_root ? 1 : Fanout / 2 - 1;
+      if (node->keys.size() < min_keys) {
+        return CorruptionError("bptree: underfull leaf");
+      }
+      leaf_keys += node->keys.size();
+      return OkStatus();
+    }
+    if (!node->values.empty()) {
+      return CorruptionError("bptree: internal node with values");
+    }
+    if (node->children.size() != node->keys.size() + 1) {
+      return CorruptionError("bptree: internal key/child arity");
+    }
+    if (node->children.size() > Fanout) {
+      return CorruptionError("bptree: overfull internal node");
+    }
+    const size_t min_children = is_root ? 2 : Fanout / 2;
+    if (node->children.size() < min_children) {
+      return CorruptionError("bptree: underfull internal node");
+    }
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      const Key* lo = i == 0 ? lower : &node->keys[i - 1];
+      const Key* hi = i == node->keys.size() ? upper : &node->keys[i];
+      NVMECR_RETURN_IF_ERROR(
+          validate_node(node->children[i].get(), depth + 1, lo, hi,
+                        leaf_keys));
+    }
+    return OkStatus();
   }
 
   const Node* leftmost_leaf() const {

@@ -1,0 +1,56 @@
+// fsck report for MicroFs::fsck() (crash-consistency invariant checker).
+//
+// fsck() walks every DRAM metadata structure and the device-resident
+// directory files of a mounted (usually just-recovered) instance and
+// cross-validates them:
+//
+//  * B+Tree structure: key ordering, separator bounds, occupancy, leaf
+//    chain (BpTree::validate).
+//  * Namespace: "/" maps to the root inode; every path resolves to an
+//    existing inode of a plausible type; every inode is reachable by
+//    exactly one path; every non-root path's parent exists and is a
+//    directory.
+//  * Extents: per inode, blocks.size() covers [0, size); every block is
+//    in range, marked allocated in the pool, and referenced exactly once
+//    across the filesystem; the pool's allocated count equals the number
+//    of referenced blocks.
+//  * Directory files: the live view of each directory's on-device dirent
+//    stream matches readdir() (same names, same inode numbers); decode
+//    errors inside the [0, size) window are violations.
+//  * Operation log: live records have strictly increasing LSNs below
+//    next_lsn and non-decreasing epochs bounded by the current epoch.
+//  * Open files reference existing inodes.
+//
+// Every violation is recorded as a human-readable issue string rather
+// than aborting at the first one, so one crash state yields a complete
+// diagnosis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nvmecr::microfs {
+
+struct FsckReport {
+  uint64_t files = 0;
+  uint64_t directories = 0;
+  uint64_t blocks_referenced = 0;
+  uint64_t log_records = 0;
+  std::vector<std::string> issues;
+
+  bool clean() const { return issues.empty(); }
+
+  std::string to_string() const {
+    std::string out = "fsck: " + std::to_string(files) + " files, " +
+                      std::to_string(directories) + " dirs, " +
+                      std::to_string(blocks_referenced) + " blocks, " +
+                      std::to_string(log_records) + " log records";
+    if (clean()) return out + ", clean";
+    out += ", " + std::to_string(issues.size()) + " issue(s):";
+    for (const std::string& i : issues) out += "\n  - " + i;
+    return out;
+  }
+};
+
+}  // namespace nvmecr::microfs

@@ -283,8 +283,6 @@ sim::Task<Status> MicroFs::append_dirent(Inode& dir, const Dirent& entry) {
   encode_dirent(entry, buf);
   const uint64_t off = dir.size;
   NVMECR_CO_RETURN_IF_ERROR(ensure_blocks(dir, off + buf.size()));
-  dir.size += buf.size();
-  dir.content = ContentKind::kBytes;
 
   // The dirent may straddle a hugeblock boundary; write each piece at
   // its mapped device offset.
@@ -300,6 +298,11 @@ sim::Task<Status> MicroFs::append_dirent(Inode& dir, const Dirent& entry) {
     if (!s.ok()) co_return s;
     pos += in_block;
   }
+  // The directory grows only once the bytes are durable: a state
+  // checkpoint snapshotted during the writes above must not include a
+  // window over content that a crash could lose.
+  dir.size += buf.size();
+  dir.content = ContentKind::kBytes;
   stats_.dirent_bytes_written += buf.size();
   co_return OkStatus();
 }
@@ -416,12 +419,16 @@ sim::Task<Status> MicroFs::mkdir(const std::string& path, uint32_t mode) {
   rec.parent = parent_ino;
   rec.a = mode | (static_cast<uint64_t>(options_.uid) << 32);
   rec.name = basename_of(path);
-  NVMECR_CO_RETURN_IF_ERROR(co_await log_op(rec, inode));
+  // WAL discipline: the dirent bytes (data) reach the device before the
+  // log record (commit). A crash in between leaves the bytes outside the
+  // parent's recovered [0, size) window — invisible, not garbage.
   // Named (not temporary) dirent: GCC 12 miscompiles temporary aggregate
   // arguments to coroutine calls inside co_await expressions.
   const Dirent entry{true, rec.name, inode.ino};
   NVMECR_CO_RETURN_IF_ERROR(
       co_await append_dirent(*inodes_.get(parent_ino), entry));
+  rec.psize = inodes_.get(parent_ino)->size;
+  NVMECR_CO_RETURN_IF_ERROR(co_await log_op(rec, inode));
   co_return OkStatus();
 }
 
@@ -461,10 +468,12 @@ sim::Task<StatusOr<int>> MicroFs::open(const std::string& path,
     rec.a = mode | (static_cast<uint64_t>(options_.uid) << 32);
     rec.b = inode.seed;
     rec.name = basename_of(path);
-    NVMECR_CO_RETURN_IF_ERROR(co_await log_op(rec, inode));
+    // Dirent (data) before record (commit) — see mkdir.
     const Dirent entry{true, rec.name, ino};
     NVMECR_CO_RETURN_IF_ERROR(
         co_await append_dirent(*inodes_.get(parent_ino), entry));
+    rec.psize = inodes_.get(parent_ino)->size;
+    NVMECR_CO_RETURN_IF_ERROR(co_await log_op(rec, inode));
   } else {
     ino = *existing;
     Inode* inode = inodes_.get(ino);
@@ -550,10 +559,15 @@ sim::Task<Status> MicroFs::unlink(const std::string& path) {
   rec.ino = ino;
   rec.parent = parent_ino;
   rec.name = basename_of(path);
-  NVMECR_CO_RETURN_IF_ERROR(co_await log_op(rec, *inode));
+  // Tombstone dirent (data) before record (commit) — see mkdir. A crash
+  // in between leaves the tombstone outside the parent's recovered
+  // window, so the directory still lists the file — matching the tree,
+  // which also still holds the path (the unlink never committed).
   const Dirent entry{false, rec.name, ino};
   NVMECR_CO_RETURN_IF_ERROR(
       co_await append_dirent(*inodes_.get(parent_ino), entry));
+  rec.psize = inodes_.get(parent_ino)->size;
+  NVMECR_CO_RETURN_IF_ERROR(co_await log_op(rec, *inode));
 
   uint64_t freed = 0;
   for (uint64_t b : inode->blocks) {
@@ -576,6 +590,60 @@ sim::Task<Status> MicroFs::unlink(const std::string& path) {
   co_return OkStatus();
 }
 
+sim::Task<Status> MicroFs::rename(const std::string& from,
+                                  const std::string& to) {
+  co_await engine_.delay(options_.cpu_per_op);
+  NVMECR_CO_RETURN_IF_ERROR(validate_path(from));
+  NVMECR_CO_RETURN_IF_ERROR(validate_path(to));
+  if (from == "/" || to == "/") {
+    co_return InvalidArgumentError("cannot rename root");
+  }
+  const Ino* ino_ptr = paths_.find(from);
+  if (ino_ptr == nullptr) co_return NotFoundError(from);
+  const Ino ino = *ino_ptr;
+  Inode* inode = inodes_.get(ino);
+  if (inode->type == InodeType::kDirectory) {
+    // A directory rename would re-key every descendant path in the
+    // B+Tree; the checkpoint workloads only ever move files.
+    co_return IsDirectoryError(from);
+  }
+  if (paths_.contains(to)) co_return ExistsError(to);
+  const std::string new_parent = parent_of(to);
+  const Ino* new_parent_ptr = paths_.find(new_parent);
+  if (new_parent_ptr == nullptr) co_return NotFoundError(new_parent);
+  const Ino new_parent_ino = *new_parent_ptr;
+  if (inodes_.get(new_parent_ino)->type != InodeType::kDirectory) {
+    co_return NotDirectoryError(new_parent);
+  }
+  const Ino old_parent_ino = *paths_.find(parent_of(from));
+
+  pool_version_before_op_ = pool_version_;
+  LogRecord rec;
+  rec.type = OpType::kRename;
+  rec.ino = ino;
+  rec.parent = new_parent_ino;
+  rec.a = old_parent_ino;
+  rec.name = basename_of(to);
+  // Both dirent mutations (data) precede the record (commit) — see
+  // mkdir. Old parent's tombstone first, then the new entry: replay
+  // mirrors this order so pool allocations stay deterministic.
+  const Dirent tomb{false, basename_of(from), ino};
+  NVMECR_CO_RETURN_IF_ERROR(
+      co_await append_dirent(*inodes_.get(old_parent_ino), tomb));
+  const Dirent entry{true, rec.name, ino};
+  NVMECR_CO_RETURN_IF_ERROR(
+      co_await append_dirent(*inodes_.get(new_parent_ino), entry));
+  rec.b = inodes_.get(old_parent_ino)->size;
+  rec.psize = inodes_.get(new_parent_ino)->size;
+  NVMECR_CO_RETURN_IF_ERROR(co_await log_op(rec, *inode));
+
+  paths_.erase(from);
+  paths_.insert(to, ino);
+  if (m_bptree_ops_ != nullptr) m_bptree_ops_->add();
+  ++stats_.renames;
+  co_return OkStatus();
+}
+
 sim::Task<Status> MicroFs::close(int fd) {
   co_await engine_.delay(options_.cpu_per_op);
   if (open_files_.erase(fd) == 0) co_return BadFdError();
@@ -593,6 +661,7 @@ StatusOr<FileStat> MicroFs::stat(const std::string& path) const {
   FileStat st;
   st.ino = inode->ino;
   st.type = inode->type;
+  st.content = inode->content;
   st.size = inode->size;
   st.mode = inode->mode;
   st.uid = inode->uid;
@@ -914,23 +983,21 @@ Status MicroFs::replay_record(const LogRecord& rec,
       if (parent_it == ino_paths.end()) {
         return CorruptionError("mkdir replay: unknown parent");
       }
-      auto inode = inodes_.insert_with_ino(rec.ino, InodeType::kDirectory);
-      if (!inode.ok()) return inode.status();
-      (*inode)->mode = static_cast<uint32_t>(rec.a & 0xffffffffu);
-      (*inode)->uid = static_cast<uint32_t>(rec.a >> 32);
-      const std::string path = parent_it->second == "/"
-                                   ? "/" + rec.name
-                                   : parent_it->second + "/" + rec.name;
-      paths_.insert(path, rec.ino);
-      ino_paths[rec.ino] = path;
-      // Mirror the parent's dirent-append bookkeeping (the bytes are
-      // already durable on the device).
-      Inode* parent = inodes_.get(rec.parent);
-      NVMECR_RETURN_IF_ERROR(
-          ensure_blocks(*parent, parent->size + dirent_encoded_size(rec.name)));
-      parent->size += dirent_encoded_size(rec.name);
-      parent->content = ContentKind::kBytes;
-      return OkStatus();
+      // An existing inode means the loaded checkpoint was forced *inside*
+      // this mkdir (log ring full): its DRAM mutations are already in the
+      // checkpoint and must not apply twice.
+      if (inodes_.get(rec.ino) == nullptr) {
+        auto inode = inodes_.insert_with_ino(rec.ino, InodeType::kDirectory);
+        if (!inode.ok()) return inode.status();
+        (*inode)->mode = static_cast<uint32_t>(rec.a & 0xffffffffu);
+        (*inode)->uid = static_cast<uint32_t>(rec.a >> 32);
+        const std::string path = parent_it->second == "/"
+                                     ? "/" + rec.name
+                                     : parent_it->second + "/" + rec.name;
+        paths_.insert(path, rec.ino);
+        ino_paths[rec.ino] = path;
+      }
+      return replay_dirent_growth(rec.parent, rec.psize);
     }
     case OpType::kCreate: {
       auto parent_it = ino_paths.find(rec.parent);
@@ -939,15 +1006,20 @@ Status MicroFs::replay_record(const LogRecord& rec,
       }
       Inode* existing = inodes_.get(rec.ino);
       if (existing != nullptr) {
-        // Truncation record: reset the file, freeing blocks in order.
-        for (uint64_t b : existing->blocks) {
-          if (b != kInvalidBlock) NVMECR_RETURN_IF_ERROR(pool_.free(b));
+        if (rec.psize == 0) {
+          // Truncation record: reset the file, freeing blocks in order.
+          for (uint64_t b : existing->blocks) {
+            if (b != kInvalidBlock) NVMECR_RETURN_IF_ERROR(pool_.free(b));
+          }
+          existing->blocks.clear();
+          existing->size = 0;
+          existing->content = ContentKind::kNone;
+          existing->seed = rec.b;
+          return OkStatus();
         }
-        existing->blocks.clear();
-        existing->size = 0;
-        existing->content = ContentKind::kNone;
-        existing->seed = rec.b;
-        return OkStatus();
+        // Creation already captured by a mid-op forced checkpoint — only
+        // the parent growth guard below may still apply.
+        return replay_dirent_growth(rec.parent, rec.psize);
       }
       auto inode = inodes_.insert_with_ino(rec.ino, InodeType::kFile);
       if (!inode.ok()) return inode.status();
@@ -959,12 +1031,7 @@ Status MicroFs::replay_record(const LogRecord& rec,
                                    : parent_it->second + "/" + rec.name;
       paths_.insert(path, rec.ino);
       ino_paths[rec.ino] = path;
-      Inode* parent = inodes_.get(rec.parent);
-      NVMECR_RETURN_IF_ERROR(
-          ensure_blocks(*parent, parent->size + dirent_encoded_size(rec.name)));
-      parent->size += dirent_encoded_size(rec.name);
-      parent->content = ContentKind::kBytes;
-      return OkStatus();
+      return replay_dirent_growth(rec.parent, rec.psize);
     }
     case OpType::kWrite: {
       Inode* inode = inodes_.get(rec.ino);
@@ -985,6 +1052,9 @@ Status MicroFs::replay_record(const LogRecord& rec,
     case OpType::kUnlink: {
       Inode* inode = inodes_.get(rec.ino);
       if (inode == nullptr) return CorruptionError("unlink replay: no inode");
+      // Mirror the live order: tombstone growth (possible parent block
+      // allocation) happened before the file's blocks were freed.
+      NVMECR_RETURN_IF_ERROR(replay_dirent_growth(rec.parent, rec.psize));
       for (uint64_t b : inode->blocks) {
         if (b != kInvalidBlock) NVMECR_RETURN_IF_ERROR(pool_.free(b));
       }
@@ -993,16 +1063,53 @@ Status MicroFs::replay_record(const LogRecord& rec,
         paths_.erase(it->second);
         ino_paths.erase(it);
       }
-      Inode* parent = inodes_.get(rec.parent);
-      if (parent != nullptr) {
-        NVMECR_RETURN_IF_ERROR(ensure_blocks(
-            *parent, parent->size + dirent_encoded_size(rec.name)));
-        parent->size += dirent_encoded_size(rec.name);
-      }
       return inodes_.free(rec.ino);
+    }
+    case OpType::kRename: {
+      Inode* inode = inodes_.get(rec.ino);
+      if (inode == nullptr) return CorruptionError("rename replay: no inode");
+      auto it = ino_paths.find(rec.ino);
+      if (it == ino_paths.end()) {
+        return CorruptionError("rename replay: no path for inode");
+      }
+      auto parent_it = ino_paths.find(rec.parent);
+      if (parent_it == ino_paths.end()) {
+        return CorruptionError("rename replay: unknown new parent");
+      }
+      // Old parent's tombstone growth first, then the new entry — the
+      // live allocation order.
+      NVMECR_RETURN_IF_ERROR(replay_dirent_growth(rec.a, rec.b));
+      NVMECR_RETURN_IF_ERROR(replay_dirent_growth(rec.parent, rec.psize));
+      const std::string old_path = it->second;
+      const std::string new_path = parent_it->second == "/"
+                                       ? "/" + rec.name
+                                       : parent_it->second + "/" + rec.name;
+      if (old_path != new_path) {
+        paths_.erase(old_path);
+        paths_.insert(new_path, rec.ino);
+        ino_paths[rec.ino] = new_path;
+      }
+      return OkStatus();
     }
   }
   return CorruptionError("unknown record type");
+}
+
+Status MicroFs::replay_dirent_growth(Ino parent_ino, uint64_t psize) {
+  if (psize == 0) return OkStatus();
+  Inode* parent = inodes_.get(parent_ino);
+  if (parent == nullptr) {
+    return CorruptionError("dirent replay: unknown parent inode");
+  }
+  // `psize` is the dirfile size right after the op's dirent append became
+  // durable. If the loaded checkpoint already covers it (it was taken
+  // mid-op or later), this is a no-op — the idempotence guard that makes
+  // forced-checkpoint-inside-an-op recoverable.
+  if (parent->size >= psize) return OkStatus();
+  NVMECR_RETURN_IF_ERROR(ensure_blocks(*parent, psize));
+  parent->size = psize;
+  parent->content = ContentKind::kBytes;
+  return OkStatus();
 }
 
 sim::Task<StatusOr<std::unique_ptr<MicroFs>>> MicroFs::recover(
@@ -1087,9 +1194,14 @@ sim::Task<StatusOr<std::unique_ptr<MicroFs>>> MicroFs::recover(
   uint64_t max_lsn = next_lsn_ckpt > 0 ? next_lsn_ckpt - 1 : 0;
   uint32_t max_epoch = best_epoch;
   std::vector<std::pair<uint32_t, LogRecord>> applied;
-  uint64_t prev_lsn = 0;
+  // Seed the hole check with the checkpoint's LSN horizon: every scanned
+  // record was appended after the snapshot was serialized, so the first
+  // one must be exactly next_lsn_ckpt. Starting from 0 would silently
+  // accept a sequence whose *first* post-checkpoint record is missing
+  // (torn slot) — replaying later records with broken causality.
+  uint64_t prev_lsn = next_lsn_ckpt > 0 ? next_lsn_ckpt - 1 : 0;
   for (const auto& [slot, rec] : *scanned) {
-    if (prev_lsn != 0 && rec.lsn != prev_lsn + 1) {
+    if (rec.lsn != prev_lsn + 1) {
       NVMECR_SLOG_WARN(
           "oplog",
           "operation log hole after lsn %llu; discarding %zu later records",

@@ -34,6 +34,7 @@
 #include "microfs/block_pool.h"
 #include "microfs/bptree.h"
 #include "microfs/dirfile.h"
+#include "microfs/fsck.h"
 #include "microfs/inode.h"
 #include "microfs/oplog.h"
 #include "obs/observer.h"
@@ -108,6 +109,7 @@ struct OpenFlags {
 struct FileStat {
   Ino ino = kInvalidIno;
   InodeType type = InodeType::kFile;
+  ContentKind content = ContentKind::kNone;
   uint64_t size = 0;
   uint32_t mode = 0;
   uint32_t uid = 0;
@@ -119,6 +121,7 @@ struct MicroFsStats {
   uint64_t writes = 0;
   uint64_t reads = 0;
   uint64_t unlinks = 0;
+  uint64_t renames = 0;
   uint64_t data_bytes_written = 0;   // includes hugeblock padding
   uint64_t payload_bytes_written = 0;  // bytes the app asked to write
   uint64_t data_bytes_read = 0;
@@ -167,6 +170,10 @@ class MicroFs {
     co_return co_await open(path, f, mode);
   }
   sim::Task<Status> unlink(const std::string& path);
+  /// rename(2) for files (directory renames would re-key every
+  /// descendant path and are rejected with kIsDirectory). `to` must not
+  /// exist; open descriptors stay valid (they hold inode numbers).
+  sim::Task<Status> rename(const std::string& from, const std::string& to);
   sim::Task<Status> close(int fd);
   StatusOr<FileStat> stat(const std::string& path) const;
   /// Names of the live entries directly under `path`.
@@ -199,6 +206,14 @@ class MicroFs {
   sim::Task<Status> checkpoint_state();
   int open_file_count() const { return static_cast<int>(open_files_.size()); }
 
+  /// Crash-consistency invariant checker (see microfs/fsck.h for the
+  /// invariant list). Read-only: issues device reads for the directory
+  /// files but never mutates state. A clean report means the DRAM
+  /// metadata, the device-resident directory streams, and the operation
+  /// log agree; the crash-exploration harness runs it on every recovered
+  /// state.
+  sim::Task<StatusOr<FsckReport>> fsck();
+
   // --- observability ----------------------------------------------------
   /// Installs trace/metrics sinks on this instance and its operation
   /// log. `label` distinguishes instances in gauge names and trace
@@ -210,6 +225,8 @@ class MicroFs {
   const OpLog::Counters& log_counters() const { return log_->counters(); }
   uint32_t log_free_slots() const { return log_->free_slots(); }
   uint32_t log_capacity() const { return log_->capacity(); }
+  /// Log slots with a deferred (group-committed) rewrite still pending.
+  size_t log_dirty_slots() const { return log_->dirty_slots(); }
   const Options& options() const { return options_; }
   uint64_t data_region_blocks() const { return pool_.total(); }
   uint64_t free_blocks() const { return pool_.free_count(); }
@@ -291,6 +308,9 @@ class MicroFs {
   /// Recovery replay of one scanned record.
   Status replay_record(const LogRecord& rec,
                        std::map<Ino, std::string>& ino_paths);
+  /// Grows `parent_ino`'s dirfile bookkeeping to the record's post-op
+  /// size (no-op when the loaded checkpoint already covers it).
+  Status replay_dirent_growth(Ino parent_ino, uint64_t psize);
 
   sim::Engine& engine_;
   hw::BlockDevice& dev_;

@@ -34,6 +34,7 @@ void OpLog::encode_record(const LogRecord& rec, std::vector<std::byte>& out) {
   enc.u64(rec.parent);
   enc.u64(rec.a);
   enc.u64(rec.b);
+  enc.u64(rec.psize);
   enc.u8(rec.flags);
   NVMECR_CHECK(rec.name.size() <= kMaxName);
   enc.str(rec.name);
@@ -58,6 +59,7 @@ StatusOr<LogRecord> OpLog::decode_record(std::span<const std::byte> in) {
   NVMECR_RETURN_IF_ERROR(dec.u64(rec.parent));
   NVMECR_RETURN_IF_ERROR(dec.u64(rec.a));
   NVMECR_RETURN_IF_ERROR(dec.u64(rec.b));
+  NVMECR_RETURN_IF_ERROR(dec.u64(rec.psize));
   NVMECR_RETURN_IF_ERROR(dec.u8(rec.flags));
   NVMECR_RETURN_IF_ERROR(dec.str(rec.name));
   const size_t body = dec.consumed();
@@ -66,7 +68,7 @@ StatusOr<LogRecord> OpLog::decode_record(std::span<const std::byte> in) {
   const uint32_t actual =
       static_cast<uint32_t>(crc64(in.data(), body));
   if (stored_crc != actual) return CorruptionError("record crc mismatch");
-  if (type < 1 || type > 4) return CorruptionError("bad record type");
+  if (type < 1 || type > 5) return CorruptionError("bad record type");
   rec.type = static_cast<OpType>(type);
   return rec;
 }
@@ -102,24 +104,47 @@ sim::Task<Status> OpLog::flush_dirty() {
     if (m_group_commits_ != nullptr) m_group_commits_->add();
     deferred_pending_ = 0;
   }
-  // Walk the (sorted) dirty set, coalescing runs of adjacent slots into
-  // one contiguous device submission each.
+  // Drain in ascending LSN order, not slot order: once the ring wraps,
+  // a newer record can occupy a *lower* slot than a pending deferred
+  // rewrite. The deferred extension carries block allocations that the
+  // newer record's replay depends on, so a crash between the two device
+  // writes must always leave a durable LSN prefix — never the newer
+  // record without the older one. Runs contiguous in both slot and LSN
+  // still share one submission (the common sequential-append case), and
+  // a torn prefix of such a batch is itself an LSN prefix.
   while (!dirty_.empty()) {
-    auto it = dirty_.begin();
-    const uint32_t first = it->first;
-    uint32_t slot = first;
+    auto run_begin = dirty_.begin();
+    for (auto it = std::next(dirty_.begin()); it != dirty_.end(); ++it) {
+      if (it->second.lsn < run_begin->second.lsn) run_begin = it;
+    }
+    std::vector<std::pair<uint32_t, LogRecord>> run;
+    run.emplace_back(run_begin->first, run_begin->second);
     std::vector<std::byte> buf;
     std::vector<std::byte> one;
-    while (it != dirty_.end() && it->first == slot) {
+    encode_record(run_begin->second, one);
+    buf.insert(buf.end(), one.begin(), one.end());
+    for (auto it = dirty_.find(run.back().first + 1);
+         it != dirty_.end() && it->second.lsn > run.back().second.lsn;
+         it = dirty_.find(run.back().first + 1)) {
       encode_record(it->second, one);
       buf.insert(buf.end(), one.begin(), one.end());
-      ++slot;
-      it = dirty_.erase(it);
+      run.emplace_back(it->first, it->second);
     }
-    counters_.bytes_written += buf.size();
-    if (m_bytes_ != nullptr) m_bytes_->add(buf.size());
+    const uint32_t first = run.front().first;
     NVMECR_CO_RETURN_IF_ERROR(co_await dev_.write(
         region_base_ + static_cast<uint64_t>(first) * kRecordBytes, buf));
+    counters_.bytes_written += buf.size();
+    if (m_bytes_ != nullptr) m_bytes_->add(buf.size());
+    // Erase only after the write is durable, and only if the slot wasn't
+    // re-dirtied (coalesced again) while the submission was in flight. A
+    // failed write keeps the slots dirty so the next flush retries them.
+    for (const auto& [slot, rec] : run) {
+      auto it = dirty_.find(slot);
+      if (it != dirty_.end() && it->second.lsn == rec.lsn &&
+          it->second.b == rec.b) {
+        dirty_.erase(it);
+      }
+    }
   }
   co_return OkStatus();
 }

@@ -53,6 +53,7 @@ enum class OpType : uint8_t {
   kCreate = 2,
   kWrite = 3,
   kUnlink = 4,
+  kRename = 5,
 };
 
 struct LogRecord {
@@ -62,9 +63,18 @@ struct LogRecord {
   Ino ino = kInvalidIno;
   Ino parent = kInvalidIno;
   /// Type-specific: kWrite -> (offset, length); kCreate/kMkdir ->
-  /// (mode, content seed); kUnlink -> unused.
+  /// (mode, content seed); kUnlink -> unused; kRename -> (old parent
+  /// ino, unused) with `parent` the new parent and `name` the new
+  /// basename.
   uint64_t a = 0;
   uint64_t b = 0;
+  /// Parent dirfile size immediately after this op's dirent append became
+  /// durable (0 for kWrite and truncation records). Replay uses it as an
+  /// idempotence guard: a state checkpoint forced *inside* the op (log
+  /// ring full) already contains the dirent bookkeeping, and the record
+  /// must not apply it twice. For kRename, `b` carries the same quantity
+  /// for the old parent.
+  uint64_t psize = 0;
   /// Bit 0 on kWrite: the payload was tagged (pattern) content; recovery
   /// restores the file's content kind from it.
   uint8_t flags = 0;
@@ -113,6 +123,16 @@ class OpLog {
 
   /// Slots with a deferred device rewrite (test/observability hook).
   size_t dirty_slots() const { return dirty_.size(); }
+
+  /// Copy of the live in-DRAM records, oldest first (fsck hook: the
+  /// checker cross-validates LSN/epoch monotonicity against the
+  /// filesystem state without reaching into the deque).
+  std::vector<LogRecord> live_snapshot() const {
+    std::vector<LogRecord> out;
+    out.reserve(live_.size());
+    for (const auto& lr : live_) out.push_back(lr.record);
+    return out;
+  }
 
   uint32_t capacity() const { return slots_; }
   uint32_t live_records() const { return static_cast<uint32_t>(live_.size()); }

@@ -99,6 +99,20 @@ class Engine {
     if (!done) die_deadlocked("run_task<void>");
   }
 
+  /// Like run_task, but a deadlocked task returns nullopt instead of
+  /// aborting the process. The crash-exploration harness uses this: a
+  /// recover() that hangs on a mangled image is a reportable finding,
+  /// not a reason to kill the whole enumeration. The stuck frame is
+  /// reclaimed by the engine destructor, so the caller must treat the
+  /// engine as poisoned (discard it) after a nullopt.
+  template <typename T>
+  std::optional<T> try_run_task(Task<T> task) {
+    std::optional<T> out;
+    spawn(capture_result(std::move(task), out));
+    run();
+    return out;
+  }
+
   /// Number of spawned root tasks that have not yet completed. Nonzero
   /// after run() returns means a deadlock (task awaiting an event that
   /// never fires).

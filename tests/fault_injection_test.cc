@@ -10,6 +10,7 @@
 #include "hw/ram_device.h"
 #include "microfs/microfs.h"
 #include "nvmecr/runtime.h"
+#include "redundancy/engine.h"
 #include "simcore/engine.h"
 
 namespace nvmecr {
@@ -157,6 +158,181 @@ TEST(FaultInjectionTest, VerifyDetectsDirectDataCorruption) {
     Status s = co_await m.verify_tagged("/ckpt");
     EXPECT_EQ(s.code(), ErrorCode::kCorruption);
   }(*fs));
+}
+
+TEST(FaultInjectionTest, MultiErrorBurstFailsEachOpThenDrains) {
+  SsdFsFixture f;
+  auto fs = f.format();
+  f.eng.run_task([](SsdFsFixture& fx, microfs::MicroFs& m) -> sim::Task<void> {
+    auto fd = co_await m.creat("/a");
+    EXPECT_TRUE(fd.ok());
+    // A burst of three media errors: each op's first device command (the
+    // data write) consumes one injection and aborts the op, so exactly
+    // the next three writes fail, then service resumes.
+    fx.ssd.inject_io_errors(3);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ((co_await m.write_tagged(*fd, 256_KiB)).code(),
+                ErrorCode::kIoError)
+          << "burst op " << i;
+    }
+    EXPECT_TRUE((co_await m.write_tagged(*fd, 256_KiB)).ok());
+    EXPECT_TRUE((co_await m.close(*fd)).ok());
+    // The namespace only reflects the successful write.
+    EXPECT_TRUE((co_await m.verify_tagged("/a")).ok());
+  }(f, *fs));
+  EXPECT_EQ(fs->stat("/a")->size, 256_KiB);
+}
+
+TEST(FaultInjectionTest, GroupCommitDrainErrorRetainsDirtySlots) {
+  SsdFsFixture f;
+  microfs::Options options;
+  options.coalesce_window = 64;
+  options.auto_checkpoint = false;
+  auto fs = f.format(options);
+  f.eng.run_task([](SsdFsFixture& fx, microfs::MicroFs& m) -> sim::Task<void> {
+    auto fd = co_await m.creat("/a");
+    EXPECT_TRUE(fd.ok());
+    EXPECT_TRUE((co_await m.write_tagged(*fd, 64_KiB)).ok());
+    // Coalesced extension: the WRITE record is updated in DRAM and its
+    // slot rewrite deferred to the next flush point.
+    EXPECT_TRUE((co_await m.write_tagged(*fd, 64_KiB)).ok());
+    EXPECT_GE(m.log_dirty_slots(), 1u);
+
+    // The drain write is the first device command fsync issues; fail it.
+    fx.ssd.inject_io_errors(1);
+    EXPECT_EQ((co_await m.fsync(*fd)).code(), ErrorCode::kIoError);
+    // The failed rewrite must stay dirty — dropping it would let a later
+    // crash replay the stale (shorter) record silently.
+    EXPECT_GE(m.log_dirty_slots(), 1u);
+
+    // Retry succeeds and clears the dirty set.
+    EXPECT_TRUE((co_await m.fsync(*fd)).ok());
+    EXPECT_EQ(m.log_dirty_slots(), 0u);
+    EXPECT_TRUE((co_await m.close(*fd)).ok());
+  }(f, *fs));
+  // Crash/recover: the retried rewrite is what replays.
+  fs.reset();
+  auto rec = f.eng.run_task(microfs::MicroFs::recover(f.eng, *f.dev, options));
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ((*rec)->stat("/a")->size, 128_KiB);
+  f.eng.run_task([](microfs::MicroFs& m) -> sim::Task<void> {
+    EXPECT_TRUE((co_await m.verify_tagged("/a")).ok());
+  }(**rec));
+}
+
+TEST(FaultInjectionTest, XorParityWriteErrorDegradesNotCorrupts) {
+  nvmecr_rt::ClusterSpec spec;
+  spec.compute_nodes = 4;
+  spec.storage_nodes = 5;
+  spec.storage_racks = 5;
+  nvmecr_rt::Cluster cluster(spec);
+  nvmecr_rt::Scheduler sched(cluster);
+  auto job = sched.allocate(/*nranks=*/4, /*procs_per_node=*/1, 256_MiB,
+                            /*ssds=*/4);
+  ASSERT_TRUE(job.ok());
+  nvmecr_rt::NvmecrSystem primary(cluster, *job, {});
+  redundancy::RedundancyOptions opts;
+  opts.scheme = redundancy::Scheme::kXor;
+  opts.xor_set_size = 4;
+  auto dep =
+      redundancy::deploy_redundancy(cluster, sched, primary, *job, opts);
+  ASSERT_TRUE(dep.ok()) << dep.status().to_string();
+  redundancy::RedundantSystem& sys = *dep->system;
+
+  std::vector<std::unique_ptr<baselines::StorageClient>> clients;
+  cluster.engine().run_task(
+      [](nvmecr_rt::Cluster& cl, const nvmecr_rt::JobAllocation& store_job,
+         redundancy::RedundantSystem& s,
+         std::vector<std::unique_ptr<baselines::StorageClient>>& cs)
+          -> sim::Task<void> {
+        std::vector<int> fds;
+        for (uint32_t r = 0; r < 4; ++r) {
+          auto c = co_await s.connect(static_cast<int>(r));
+          NVMECR_CHECK(c.ok());
+          cs.push_back(std::move(*c));
+          auto fd = co_await cs.back()->create("/ckpt0");
+          EXPECT_TRUE(fd.ok());
+          EXPECT_TRUE((co_await cs.back()->write(*fd, 8_MiB)).ok());
+          fds.push_back(*fd);
+        }
+        // Parity encodes fire once the whole erasure set has closed;
+        // poison every store-side SSD so those background writes fail.
+        for (fabric::NodeId n : store_job.assignment.ssd_nodes) {
+          cl.storage_ssd(cl.storage_ssd_index(n)).inject_io_errors(1000);
+        }
+        for (uint32_t r = 0; r < 4; ++r) {
+          EXPECT_TRUE((co_await cs[r]->close(fds[r])).ok());
+        }
+        co_await s.quiesce();
+      }(cluster, dep->store_job, sys, clients));
+
+  // Clear leftover injections (a store SSD can double as another rank's
+  // primary) before exercising the read path.
+  for (fabric::NodeId n : dep->store_job.assignment.ssd_nodes) {
+    cluster.storage_ssd(cluster.storage_ssd_index(n)).inject_io_errors(0);
+  }
+
+  // The checkpoint is degraded (no parity protection), never corrupted:
+  // manifests say parity_ok == false and the primary copy still reads.
+  EXPECT_GT(sys.degraded_files(), 0u);
+  for (uint32_t r = 0; r < 4; ++r) {
+    const redundancy::FileManifest* m = sys.manifest(r, "/ckpt0");
+    ASSERT_NE(m, nullptr) << "rank " << r;
+    EXPECT_TRUE(m->complete) << "rank " << r;
+    EXPECT_FALSE(m->parity_ok) << "rank " << r;
+  }
+  cluster.engine().run_task(
+      [](std::vector<std::unique_ptr<baselines::StorageClient>>& cs)
+          -> sim::Task<void> {
+        auto fd = co_await cs[0]->open_read("/ckpt0");
+        EXPECT_TRUE(fd.ok());
+        EXPECT_TRUE((co_await cs[0]->read(*fd, 8_MiB)).ok());
+        EXPECT_TRUE((co_await cs[0]->close(*fd)).ok());
+      }(clients));
+}
+
+TEST(FaultInjectionTest, ErrorMidRecoverSurfacesTypedNeverCorrupts) {
+  SsdFsFixture f;
+  microfs::Options options;
+  options.coalesce_window = 0;
+  {
+    auto fs = f.format(options);
+    f.eng.run_task([](microfs::MicroFs& m) -> sim::Task<void> {
+      EXPECT_TRUE((co_await m.mkdir("/d")).ok());
+      for (int i = 0; i < 6; ++i) {
+        auto fd = co_await m.creat("/d/f" + std::to_string(i));
+        EXPECT_TRUE(fd.ok());
+        EXPECT_TRUE((co_await m.write_tagged(*fd, 96_KiB)).ok());
+        EXPECT_TRUE((co_await m.close(*fd)).ok());
+      }
+    }(*fs));
+  }
+  // Sweep the error over successive device commands of the recovery
+  // path (superblock, checkpoint regions, log scan): each attempt must
+  // either mount a consistent filesystem or fail with a typed error.
+  int failures = 0, successes = 0;
+  for (uint32_t k = 0; k < 24; ++k) {
+    f.ssd.inject_io_errors(1, /*after=*/k);
+    auto fs = f.eng.run_task(microfs::MicroFs::recover(f.eng, *f.dev, options));
+    f.ssd.inject_io_errors(0);  // clear any unconsumed injection
+    if (!fs.ok()) {
+      ++failures;
+      const ErrorCode code = fs.status().code();
+      EXPECT_TRUE(code == ErrorCode::kIoError ||
+                  code == ErrorCode::kCorruption)
+          << "k=" << k << ": " << fs.status().to_string();
+      continue;
+    }
+    ++successes;
+    // A mount that claims success must be fully consistent.
+    auto report = f.eng.run_task((*fs)->fsck());
+    ASSERT_TRUE(report.ok()) << "k=" << k;
+    EXPECT_TRUE(report->clean()) << "k=" << k << "\n" << report->to_string();
+    EXPECT_EQ((*fs)->readdir("/d")->size(), 6u) << "k=" << k;
+  }
+  // The sweep crossed both regimes.
+  EXPECT_GT(failures, 0);
+  EXPECT_GT(successes, 0);
 }
 
 }  // namespace

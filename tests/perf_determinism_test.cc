@@ -38,7 +38,7 @@ struct RunFingerprint {
 
 // Golden values for run_fingerprinted(true, 28, 2); see
 // GoldenScheduleFingerprint for the update procedure.
-constexpr uint64_t kGoldenHash = 14420470303207938882ull;
+constexpr uint64_t kGoldenHash = 12336616208893251084ull;
 constexpr uint64_t kGoldenEvents = 79094;
 constexpr SimTime kGoldenFinalTime = 7434117816;
 

@@ -12,6 +12,12 @@
 //   e2e      — a fig07-style CoMD run (weak scaling) under wall-clock
 //              timing: host events/sec, now-ring hit fraction, oplog
 //              group commits.
+//   degraded — the same CoMD job run healthy vs with 1 of 8 storage
+//              targets dead from the start (every IO of the affected
+//              ranks fails over to a partner-domain spare). Reports the
+//              simulated-time overhead ratio of degraded operation;
+//              informational, not gated (it is a model property, not a
+//              host-performance one).
 //
 // The gate compares the *speedup ratios* (new path vs in-process old
 // path) against a checked-in baseline, so it is stable across machines:
@@ -37,6 +43,9 @@
 #include "hw/payload_store.h"
 #include "obs/metrics.h"
 #include "obs/observer.h"
+#include "resilience/failover.h"
+#include "resilience/health.h"
+#include "resilience/retry.h"
 #include "simcore/engine.h"
 
 namespace nvmecr::bench {
@@ -202,6 +211,73 @@ E2eResult run_e2e(uint32_t nranks, uint32_t checkpoints) {
 }
 
 // ---------------------------------------------------------------------
+// Degraded-mode scenario: 1 of 8 targets dead, resilience layer active.
+// ---------------------------------------------------------------------
+
+struct DegradedResult {
+  SimDuration healthy_sim = 0;    // simulated job time, all targets up
+  SimDuration degraded_sim = 0;   // same job, 1 target dead from t=0
+  double overhead_ratio = 0;      // degraded / healthy
+  uint64_t failovers = 0;
+};
+
+// One CoMD run through the full resilience stack (retrying device
+// wrapper + health monitor + ResilientSystem). `kill_first` crashes the
+// first allocated target before the job starts, so every IO of its
+// ranks pivots to a partner-domain spare. Simulated time is
+// deterministic — the ratio needs no repetitions.
+SimDuration run_resilient(const ComdParams& params, bool kill_first,
+                          uint64_t* failovers) {
+  nvmecr_rt::ClusterSpec spec;
+  spec.compute_nodes = 8;
+  spec.storage_nodes = 8;
+  spec.storage_racks = 4;
+  Cluster cluster(spec);
+  Scheduler sched(cluster);
+  auto job = sched.allocate(params.nranks, params.procs_per_node,
+                            partition_for(params), /*num_ssds=*/8);
+  NVMECR_CHECK(job.ok());
+
+  resilience::HealthMonitor monitor(cluster.engine(), cluster.topology());
+  RuntimeConfig config = default_runtime_config();
+  config.device_wrapper = resilience::make_retry_wrapper(
+      cluster.engine(), monitor, resilience::RetryPolicy{}, /*seed=*/42);
+  nvmecr_rt::NvmecrSystem primary(cluster, *job, config);
+  resilience::ResilientSystem sys(cluster, sched, primary, monitor, *job,
+                                  config);
+  if (kill_first) {
+    const fabric::NodeId victim = job->assignment.ssd_nodes[0];
+    const uint32_t idx = cluster.storage_ssd_index(victim);
+    cluster.storage_ssd(idx).schedule_crash(0);
+    cluster.target(idx).schedule_crash(0);
+    monitor.note_exhausted(victim);  // detection already converged
+  }
+  auto m = ComdDriver::run(cluster, sys, params);
+  NVMECR_CHECK(m.ok());
+  if (failovers != nullptr) *failovers = sys.failovers();
+  return m->total_time;
+}
+
+DegradedResult run_degraded(uint32_t nranks, uint32_t checkpoints) {
+  ComdParams params;
+  params.nranks = nranks;
+  params.procs_per_node = 1;
+  params.atoms_per_rank = 8192;
+  params.bytes_per_atom = 512;  // 4 MiB per rank: IO-dominated job
+  params.io_chunk = 1_MiB;
+  params.checkpoints = checkpoints;
+  params.compute_per_period = 2 * kMillisecond;
+  params.keep_last = checkpoints;
+
+  DegradedResult r;
+  r.healthy_sim = run_resilient(params, /*kill_first=*/false, nullptr);
+  r.degraded_sim = run_resilient(params, /*kill_first=*/true, &r.failovers);
+  r.overhead_ratio = static_cast<double>(r.degraded_sim) /
+                     static_cast<double>(r.healthy_sim);
+  return r;
+}
+
+// ---------------------------------------------------------------------
 // Baseline gate: flat {"key": number} JSON, 25% regression tolerance.
 // ---------------------------------------------------------------------
 
@@ -298,6 +374,19 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(e2e.tag_cache_hits),
               e2e.sim_efficiency);
 
+  // Degraded-mode overhead: 1 of 8 targets dead, resilience active.
+  const uint32_t deg_ranks = 8;
+  const uint32_t deg_ckpts = quick ? 2 : 3;
+  std::printf("[degraded] CoMD %u ranks, %u checkpoints, 1/8 targets "
+              "dead...\n", deg_ranks, deg_ckpts);
+  const DegradedResult deg = run_degraded(deg_ranks, deg_ckpts);
+  std::printf("[degraded] healthy %.2f ms  degraded %.2f ms  overhead "
+              "%.3fx  failovers %llu\n",
+              static_cast<double>(deg.healthy_sim) / 1e6,
+              static_cast<double>(deg.degraded_sim) / 1e6,
+              deg.overhead_ratio,
+              static_cast<unsigned long long>(deg.failovers));
+
   // BENCH_PERF.json.
   {
     std::ofstream out(out_path);
@@ -327,7 +416,11 @@ int main(int argc, char** argv) {
         "  \"e2e.ring_hit_frac\": %.4f,\n"
         "  \"e2e.oplog_group_commits\": %llu,\n"
         "  \"e2e.payload_tag_cache_hits\": %llu,\n"
-        "  \"e2e.sim_efficiency\": %.6g\n"
+        "  \"e2e.sim_efficiency\": %.6g,\n"
+        "  \"degraded.healthy_sim_ms\": %.6g,\n"
+        "  \"degraded.sim_ms\": %.6g,\n"
+        "  \"degraded.overhead_ratio\": %.4f,\n"
+        "  \"degraded.failovers\": %llu\n"
         "}\n",
         quick ? "true" : "false", des_new.events_per_sec,
         des_new.ns_per_event, des_new.ring_hit_frac, des_old.events_per_sec,
@@ -337,7 +430,10 @@ int main(int argc, char** argv) {
         e2e.events_per_sec, e2e.ring_hit_frac,
         static_cast<unsigned long long>(e2e.group_commits),
         static_cast<unsigned long long>(e2e.tag_cache_hits),
-        e2e.sim_efficiency);
+        e2e.sim_efficiency,
+        static_cast<double>(deg.healthy_sim) / 1e6,
+        static_cast<double>(deg.degraded_sim) / 1e6, deg.overhead_ratio,
+        static_cast<unsigned long long>(deg.failovers));
     out << buf;
     std::printf("wrote %s\n", out_path.c_str());
   }

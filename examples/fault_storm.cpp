@@ -1,0 +1,222 @@
+// Fault-storm demo: kill K of the job's primary NVMe-oF targets in the
+// middle of a CoMD-style checkpoint run and watch the resilience layer
+// (DESIGN.md §13) absorb it — detection, retry, mid-checkpoint failover
+// to a partner-domain spare, degraded completion, background healing
+// once the targets come back, restart from the fast tier with no PFS
+// deployed at all.
+//
+// Run:  ./build/examples/fault_storm --kill 2 --at mid-checkpoint
+//       ./build/examples/fault_storm --kill 1 --at 5000000 --recover-at 0
+//
+// Exits nonzero when the storm is not fully absorbed (the run fails, no
+// failover happened, or redundancy was not restored by the horizon).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "nvmecr/runtime.h"
+#include "obs/metrics.h"
+#include "redundancy/engine.h"
+#include "resilience/failover.h"
+#include "resilience/health.h"
+#include "resilience/retry.h"
+#include "workloads/comd.h"
+
+using namespace nvmecr;
+using namespace nvmecr::literals;
+
+namespace {
+
+struct Cli {
+  uint32_t kill = 2;
+  uint32_t ranks = 8;
+  /// Kill time; 0 = "mid-checkpoint" (just after the first compute
+  /// phase, while checkpoint IO is in flight).
+  SimTime at = 0;
+  /// Recovery time; 0 = kill + 57 ms. Pass a negative value to keep the
+  /// targets dead forever (degraded completion only, no healing).
+  SimTime recover_at = 0;
+  uint64_t seed = 42;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--kill K] [--ranks N] [--at mid-checkpoint|NS]\n"
+               "          [--recover-at NS|-1] [--seed N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (std::strcmp(argv[i], "--kill") == 0 && (v = next())) {
+      cli.kill = static_cast<uint32_t>(std::strtoul(v, nullptr, 0));
+    } else if (std::strcmp(argv[i], "--ranks") == 0 && (v = next())) {
+      cli.ranks = static_cast<uint32_t>(std::strtoul(v, nullptr, 0));
+    } else if (std::strcmp(argv[i], "--at") == 0 && (v = next())) {
+      cli.at = std::strcmp(v, "mid-checkpoint") == 0
+                   ? 0
+                   : static_cast<SimTime>(std::strtoll(v, nullptr, 0));
+    } else if (std::strcmp(argv[i], "--recover-at") == 0 && (v = next())) {
+      cli.recover_at = static_cast<SimTime>(std::strtoll(v, nullptr, 0));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && (v = next())) {
+      cli.seed = std::strtoull(v, nullptr, 0);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  nvmecr_rt::ClusterSpec spec;
+  spec.compute_nodes = 8;
+  spec.storage_nodes = 8;
+  spec.storage_racks = 4;
+  nvmecr_rt::Cluster cluster(spec);
+  obs::MetricsRegistry metrics;
+  cluster.install_observer({nullptr, &metrics});
+  nvmecr_rt::Scheduler sched(cluster);
+
+  workloads::ComdParams params;
+  params.nranks = cli.ranks;
+  params.procs_per_node = 1;
+  params.atoms_per_rank = 8192;
+  params.bytes_per_atom = 512;  // 4 MiB per rank per checkpoint
+  params.io_chunk = 1_MiB;
+  params.checkpoints = 3;
+  params.compute_per_period = 2 * kMillisecond;
+  params.keep_last = 3;
+
+  auto job = sched.allocate(params.nranks, params.procs_per_node, 64_MiB,
+                            spec.storage_nodes);
+  if (!job.ok()) {
+    std::fprintf(stderr, "allocate failed: %s\n",
+                 job.status().to_string().c_str());
+    return 1;
+  }
+  if (cli.kill > job->assignment.ssd_nodes.size()) {
+    std::fprintf(stderr, "--kill %u > %zu allocated targets\n", cli.kill,
+                 job->assignment.ssd_nodes.size());
+    return 2;
+  }
+
+  resilience::HealthMonitor monitor(cluster.engine(), cluster.topology());
+  monitor.set_observer(cluster.observer());
+  nvmecr_rt::RuntimeConfig config;
+  config.device_wrapper = resilience::make_retry_wrapper(
+      cluster.engine(), monitor, resilience::RetryPolicy{}, cli.seed,
+      cluster.observer());
+  nvmecr_rt::NvmecrSystem primary(cluster, *job, config);
+
+  redundancy::RedundancyOptions ropts;
+  ropts.scheme = redundancy::Scheme::kPartner;
+  auto dep = redundancy::deploy_redundancy(cluster, sched, primary, *job,
+                                           ropts, config);
+  if (!dep.ok()) {
+    std::fprintf(stderr, "deploy_redundancy failed: %s\n",
+                 dep.status().to_string().c_str());
+    return 1;
+  }
+
+  resilience::ResilientSystem sys(cluster, sched, *dep->system, monitor,
+                                  *job, config);
+  sys.set_observer(cluster.observer());
+
+  const SimTime kill_at = cli.at > 0 ? cli.at : 3 * kMillisecond;
+  const SimTime recover_at =
+      cli.recover_at < 0
+          ? fabric::Network::kForever
+          : (cli.recover_at > 0 ? cli.recover_at : kill_at + 57 * kMillisecond);
+  const bool recovers = recover_at != fabric::Network::kForever;
+
+  std::vector<fabric::NodeId> victims;
+  for (uint32_t i = 0; i < cli.kill; ++i) {
+    const fabric::NodeId n = job->assignment.ssd_nodes[i];
+    victims.push_back(n);
+    cluster.storage_ssd(cluster.storage_ssd_index(n))
+        .schedule_crash(kill_at, recovers ? recover_at : 0);
+    cluster.target(cluster.storage_ssd_index(n))
+        .schedule_crash(kill_at, recovers ? recover_at : 0);
+    std::printf("storm: target node %u dies at %lld ns%s\n", n,
+                static_cast<long long>(kill_at),
+                recovers ? "" : " (forever)");
+  }
+  if (recovers) {
+    std::printf("storm: victims recover at %lld ns\n",
+                static_cast<long long>(recover_at));
+  }
+
+  const SimTime horizon =
+      (recovers ? recover_at : kill_at) + 100 * kMillisecond;
+  cluster.engine().spawn(monitor.heartbeat(
+      [&cluster](fabric::NodeId n, SimTime t) {
+        const uint32_t idx = cluster.storage_ssd_index(n);
+        return cluster.target(idx).alive(t) &&
+               !cluster.storage_ssd(idx).crashed_at(t);
+      },
+      horizon));
+  cluster.engine().spawn(sys.healer(horizon));
+
+  auto r = workloads::ComdDriver::run(cluster, sys, params);
+  if (!r.ok()) {
+    std::fprintf(stderr, "FAIL: run did not survive the storm: %s\n",
+                 r.status().to_string().c_str());
+    return 1;
+  }
+
+  auto counter = [&metrics](const char* name) -> uint64_t {
+    const obs::Counter* c = metrics.find_counter(name);
+    return c != nullptr ? c->value() : 0;
+  };
+  std::printf("run completed: %u ranks, %u checkpoints + restart, "
+              "%lld ns total (fast-tier restart, no PFS deployed)\n",
+              params.nranks, params.checkpoints,
+              static_cast<long long>(r->total_time));
+  for (fabric::NodeId n : victims) {
+    std::printf("victim node %u: declared dead at %lld ns, final state %s\n",
+                n, static_cast<long long>(monitor.dead_since(n)),
+                resilience::target_state_name(monitor.state(n)));
+  }
+  std::printf("resilience: failovers=%llu retries=%llu deaths=%llu "
+              "degraded_ckpts=%llu heal_bytes=%llu transitions=%llu\n",
+              static_cast<unsigned long long>(sys.failovers()),
+              static_cast<unsigned long long>(counter("resilience.retries")),
+              static_cast<unsigned long long>(counter("resilience.deaths")),
+              static_cast<unsigned long long>(
+                  counter("resilience.degraded_ckpts")),
+              static_cast<unsigned long long>(sys.healed_bytes()),
+              static_cast<unsigned long long>(monitor.transitions()));
+
+  int rc = 0;
+  if (cli.kill > 0 && sys.failovers() == 0) {
+    std::fprintf(stderr, "FAIL: storm killed %u targets but no failover "
+                 "happened\n", cli.kill);
+    rc = 1;
+  }
+  if (recovers) {
+    if (!sys.degraded_ranks().empty()) {
+      std::fprintf(stderr, "FAIL: degraded files remain after healing\n");
+      rc = 1;
+    }
+    for (fabric::NodeId n : victims) {
+      if (monitor.state(n) != resilience::TargetState::kHealthy) {
+        std::fprintf(stderr, "FAIL: victim node %u not healed (state %s)\n",
+                     n, resilience::target_state_name(monitor.state(n)));
+        rc = 1;
+      }
+    }
+    if (cli.kill > 0 && sys.healed_bytes() == 0) {
+      std::fprintf(stderr, "FAIL: nothing was healed\n");
+      rc = 1;
+    }
+  }
+  if (rc == 0) std::printf("storm absorbed: OK\n");
+  return rc;
+}

@@ -18,6 +18,8 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kIoError: return "IO_ERROR";
     case ErrorCode::kCorruption: return "CORRUPTION";
     case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kTimedOut: return "TIMED_OUT";
+    case ErrorCode::kUnreachable: return "UNREACHABLE";
     case ErrorCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

@@ -31,8 +31,19 @@ enum class ErrorCode : int {
   kIoError,        // EIO
   kCorruption,     // data integrity check failed
   kUnavailable,    // resource (queue/namespace) exhausted
+  kTimedOut,       // ETIMEDOUT: IO or transport deadline elapsed
+  kUnreachable,    // EHOSTUNREACH: remote target not responding
   kInternal,       // invariant violation
 };
+
+/// True for transient transport-class failures the initiator may retry
+/// (timeout, unreachable target, exhausted-but-recoverable resource);
+/// false for fatal classes (corruption, IO error, bad arguments) where a
+/// retry would repeat the failure or mask data loss.
+inline bool is_retryable(ErrorCode code) {
+  return code == ErrorCode::kTimedOut || code == ErrorCode::kUnreachable ||
+         code == ErrorCode::kUnavailable;
+}
 
 /// Returns the canonical string for an ErrorCode (e.g. "NOT_FOUND").
 std::string_view error_code_name(ErrorCode code);
@@ -89,6 +100,8 @@ NVMECR_DEFINE_ERROR_FACTORY(NameTooLongError, kNameTooLong)
 NVMECR_DEFINE_ERROR_FACTORY(IoError, kIoError)
 NVMECR_DEFINE_ERROR_FACTORY(CorruptionError, kCorruption)
 NVMECR_DEFINE_ERROR_FACTORY(UnavailableError, kUnavailable)
+NVMECR_DEFINE_ERROR_FACTORY(TimedOutError, kTimedOut)
+NVMECR_DEFINE_ERROR_FACTORY(UnreachableError, kUnreachable)
 NVMECR_DEFINE_ERROR_FACTORY(InternalError, kInternal)
 
 #undef NVMECR_DEFINE_ERROR_FACTORY

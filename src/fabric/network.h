@@ -12,10 +12,12 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include <string>
 
+#include "common/status.h"
 #include "common/units.h"
 #include "fabric/topology.h"
 #include "obs/observer.h"
@@ -35,6 +37,9 @@ struct NetworkParams {
   SimDuration per_hop_latency = 150;  // ns
   /// Chunk size for fair sharing of a NIC among concurrent flows.
   uint64_t fair_chunk = 256_KiB;
+  /// Time an initiator waits on a dead link before reporting a transport
+  /// timeout (models the RDMA QP retry/ack timeout, not a sim deadline).
+  SimDuration transport_timeout = 500_us;
 };
 
 class Network {
@@ -60,6 +65,64 @@ class Network {
     return params_.base_latency +
            static_cast<SimDuration>(topology_.hops(src, dst)) *
                params_.per_hop_latency;
+  }
+
+  /// Sentinel "window never closes" end time for link faults.
+  static constexpr SimTime kForever = std::numeric_limits<SimTime>::max();
+
+  /// Declares `node`'s link down for sim-time [from, until). Windows are
+  /// part of the deterministic fault schedule: arm them before (or
+  /// during) the run and every transfer touching the node inside the
+  /// window fails with a transport timeout.
+  void add_link_down(NodeId node, SimTime from, SimTime until = kForever) {
+    nics_[node].down_windows.push_back({from, until});
+  }
+
+  /// Partitions a set of nodes off the fabric from `from` (until `until`,
+  /// default forever). Convenience over per-node add_link_down.
+  void partition(const std::vector<NodeId>& nodes, SimTime from,
+                 SimTime until = kForever) {
+    for (NodeId n : nodes) add_link_down(n, from, until);
+  }
+
+  /// True when `node`'s link is up at time `t`.
+  bool link_up(NodeId node, SimTime t) const {
+    for (const auto& w : nics_[node].down_windows) {
+      if (t >= w.from && t < w.until) return false;
+    }
+    return true;
+  }
+
+  /// Fallible transfer: if either endpoint's link is down at submission,
+  /// or goes down before the last byte lands (completion ack lost), the
+  /// initiator burns the transport timeout and gets kTimedOut. Loopback
+  /// never fails (no wire).
+  sim::Task<Status> try_transfer(NodeId src, NodeId dst, uint64_t bytes) {
+    if (src == dst) co_return OkStatus();
+    if (!link_up(src, engine_.now()) || !link_up(dst, engine_.now())) {
+      co_await engine_.delay(params_.transport_timeout);
+      co_return TimedOutError("link down: node " + std::to_string(src) +
+                              " -> node " + std::to_string(dst));
+    }
+    co_await transfer(src, dst, bytes);
+    if (!link_up(src, engine_.now()) || !link_up(dst, engine_.now())) {
+      // The wire dropped mid-flight; the sender only learns via timeout.
+      co_await engine_.delay(params_.transport_timeout);
+      co_return TimedOutError("link flapped during transfer: node " +
+                              std::to_string(src) + " -> node " +
+                              std::to_string(dst));
+    }
+    co_return OkStatus();
+  }
+
+  /// Fallible request/response exchange (see rpc()).
+  sim::Task<Status> try_rpc(NodeId client, NodeId server,
+                            uint64_t request_bytes, uint64_t response_bytes) {
+    NVMECR_CO_RETURN_IF_ERROR(
+        co_await try_transfer(client, server, request_bytes));
+    NVMECR_CO_RETURN_IF_ERROR(
+        co_await try_transfer(server, client, response_bytes));
+    co_return OkStatus();
   }
 
   /// Moves `bytes` from `src` to `dst`; completes when the last byte has
@@ -126,6 +189,11 @@ class Network {
   }
 
  private:
+  struct DownWindow {
+    SimTime from;
+    SimTime until;
+  };
+
   struct Nic {
     sim::BandwidthResource tx;
     sim::BandwidthResource rx;
@@ -133,6 +201,8 @@ class Network {
     obs::Counter* tx_bytes = nullptr;
     obs::Counter* rx_bytes = nullptr;
     obs::Gauge* tx_backlog = nullptr;
+    // Scheduled link-fault windows (empty on the fault-free fast path).
+    std::vector<DownWindow> down_windows = {};
   };
 
   sim::Engine& engine_;

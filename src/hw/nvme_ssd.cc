@@ -162,6 +162,11 @@ sim::Task<Status> NvmeSsd::submit(Command cmd, uint64_t* tag_out) {
   if (device_failed_) {
     co_return IoError("device " + name_ + " failed");
   }
+  if (crashed_at(engine_.now())) {
+    // No completion will ever arrive; the host burns its IO timeout.
+    co_await engine_.delay(io_timeout_);
+    co_return TimedOutError("device " + name_ + " unresponsive");
+  }
   // Validate addressing.
   auto ns_it = namespaces_.find(cmd.nsid);
   if (ns_it == namespaces_.end()) co_return NotFoundError("bad nsid");
@@ -254,6 +259,16 @@ sim::Task<Status> NvmeSsd::submit(Command cmd, uint64_t* tag_out) {
       ++counters_.flush_commands;
       break;
     }
+  }
+
+  // Straggler window: inflate the device service time (completion still
+  // arrives — this must read as "slow", never "dead", to the detector).
+  if (straggler_factor_ > 1.0 && engine_.now() >= straggler_from_ &&
+      engine_.now() < straggler_until_) {
+    const SimTime now = engine_.now();
+    completion = now + static_cast<SimTime>(
+                           static_cast<double>(completion - now) *
+                           straggler_factor_);
   }
 
   // In-order completion within a hardware queue.

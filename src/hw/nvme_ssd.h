@@ -102,6 +102,36 @@ class NvmeSsd {
   /// immediately (models an SSD/node loss for fault-tolerance tests).
   void fail_device() { device_failed_ = true; }
   bool device_failed() const { return device_failed_; }
+  /// Schedules a hard crash at sim-time `at`: commands submitted while
+  /// crashed get no completion — the initiator burns the IO timeout and
+  /// sees kTimedOut (distinct from fail_device()'s immediate kIoError,
+  /// which models a device that still answers with an error status).
+  /// recover_at == 0 means the device never comes back; a nonzero value
+  /// revives it (power-cycled node) so healing can re-replicate onto it.
+  /// Stored content survives the crash (capacitor-backed RAM + flash).
+  void schedule_crash(SimTime at, SimTime recover_at = 0) {
+    crash_armed_ = true;
+    crash_at_ = at;
+    recover_at_ = recover_at;
+  }
+  /// True when the device is crashed (unresponsive) at time `t`. Health
+  /// probes use this as the management-plane liveness check.
+  bool crashed_at(SimTime t) const {
+    return crash_armed_ && t >= crash_at_ &&
+           (recover_at_ == 0 || t < recover_at_);
+  }
+  /// Inflates device service time by `factor` for commands submitted in
+  /// [from, until): a straggler (GC pause, thermal throttle), NOT a
+  /// failure — completions still arrive and must not trip the detector.
+  void set_straggler(double factor, SimTime from, SimTime until) {
+    straggler_factor_ = factor;
+    straggler_from_ = from;
+    straggler_until_ = until;
+  }
+  /// Time a crashed device makes the initiator wait before the timeout
+  /// error is reported (models the host-side IO timeout).
+  SimDuration io_timeout() const { return io_timeout_; }
+  void set_io_timeout(SimDuration t) { io_timeout_ = t; }
   /// Corrupts `len` stored bytes at `nsid`-relative `offset` (silent
   /// media corruption; CRC-guarded structures must detect it on read).
   Status corrupt_media(uint32_t nsid, uint64_t offset, uint64_t len);
@@ -153,6 +183,13 @@ class NvmeSsd {
   uint32_t inject_errors_ = 0;
   uint32_t inject_after_ = 0;
   bool device_failed_ = false;
+  bool crash_armed_ = false;
+  SimTime crash_at_ = 0;
+  SimTime recover_at_ = 0;        // 0 = crashed forever
+  double straggler_factor_ = 1.0;
+  SimTime straggler_from_ = 0;
+  SimTime straggler_until_ = 0;
+  SimDuration io_timeout_ = 500'000;  // 500 us
 
   // Observability (all null/empty when detached; see obs/observer.h).
   obs::Observer obs_;

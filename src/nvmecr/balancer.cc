@@ -51,6 +51,11 @@ StatusOr<BalancerAssignment> StorageBalancer::assign(
       return InvalidArgumentError("storage node out of topology range");
     }
   }
+  for (fabric::RackId d : request.exclude_domains) {
+    if (d >= topo.rack_count()) {
+      return InvalidArgumentError("excluded domain out of topology range");
+    }
+  }
   const auto nranks = static_cast<uint32_t>(request.rank_nodes.size());
 
   // SSD count: explicit, or sized so each SSD serves at least
@@ -69,9 +74,30 @@ StatusOr<BalancerAssignment> StorageBalancer::assign(
   for (fabric::NodeId n : request.rank_nodes) {
     compute_domains.insert(topo.failure_domain(n));
   }
+  // Drop candidates in excluded (dead/suspect) failure domains first; a
+  // fully excluded candidate set is a typed exhaustion, not a retry.
+  std::vector<fabric::NodeId> eligible;
+  eligible.reserve(request.storage_nodes.size());
+  for (fabric::NodeId n : request.storage_nodes) {
+    const fabric::RackId d = topo.failure_domain(n);
+    bool excluded = false;
+    for (fabric::RackId x : request.exclude_domains) {
+      if (x == d) {
+        excluded = true;
+        break;
+      }
+    }
+    if (!excluded) eligible.push_back(n);
+  }
+  if (eligible.empty()) {
+    return UnavailableError(
+        "all candidate storage domains excluded (dead partner domains "
+        "exhausted)");
+  }
+
   // Order candidate storage nodes: partner-domain nodes first (by hop
   // distance to the nearest compute domain), same-domain nodes last.
-  std::vector<fabric::NodeId> candidates = request.storage_nodes;
+  std::vector<fabric::NodeId> candidates = std::move(eligible);
   auto domain_rank = [&](fabric::NodeId n) {
     const fabric::RackId d = topo.failure_domain(n);
     uint32_t best = UINT32_MAX;

@@ -34,6 +34,12 @@ struct BalancerRequest {
   /// The paper's guidance: size the allocation so each SSD serves
   /// between `min_procs_per_ssd` and 2x that (56-112, §III-F).
   uint32_t min_procs_per_ssd = 56;
+  /// Failure domains the assignment must avoid entirely (dead or
+  /// suspect racks during failover re-requests). Candidate storage
+  /// nodes in these domains are filtered out before placement; if
+  /// nothing remains the balancer returns a typed kUnavailable
+  /// exhaustion error rather than looping or degrading silently.
+  std::vector<fabric::RackId> exclude_domains;
 };
 
 struct BalancerAssignment {

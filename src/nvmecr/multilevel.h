@@ -52,6 +52,17 @@ class MultiLevelRouter {
   }
   bool has_reconstructed() const { return reconstructed_ != nullptr; }
 
+  /// Installs the resilience layer's failover view: a client serving
+  /// checkpoints that finished in degraded mode (written to a spare
+  /// partner domain after a mid-checkpoint target loss) or were healed
+  /// back to full redundancy. It sits right after the fast tier in the
+  /// restart chain: healed/degraded data is newer than anything a
+  /// reconstruction could rebuild and far newer than the PFS copy.
+  void set_failover(baselines::StorageClient* failover) {
+    failover_ = failover;
+  }
+  bool has_failover() const { return failover_ != nullptr; }
+
   /// Recovery always prefers the fast tier (it holds the newest
   /// checkpoint unless the failure destroyed it). When the fast tier is
   /// lost, reconstruction — if a redundancy scheme provisioned it — comes
@@ -62,10 +73,11 @@ class MultiLevelRouter {
   }
 
   /// The full restart fallback chain, newest-first: fast, then the
-  /// reconstructed view when installed, then the PFS tier. Restart walks
-  /// it until one source serves the checkpoint.
+  /// failover (healed > degraded) view, then reconstruction, then the
+  /// PFS tier. Restart walks it until one source serves the checkpoint.
   std::vector<baselines::StorageClient*> recovery_chain() {
     std::vector<baselines::StorageClient*> chain{&fast_};
+    if (failover_ != nullptr) chain.push_back(failover_);
     if (reconstructed_ != nullptr) chain.push_back(reconstructed_);
     chain.push_back(&pfs_);
     return chain;
@@ -75,6 +87,7 @@ class MultiLevelRouter {
   baselines::StorageClient& fast_;
   baselines::StorageClient& pfs_;
   baselines::StorageClient* reconstructed_ = nullptr;
+  baselines::StorageClient* failover_ = nullptr;
   MultiLevelPolicy policy_;
 };
 

@@ -14,6 +14,8 @@ ShimErrno to_errno(const Status& status) {
     case ErrorCode::kNoSpace: return ShimErrno::kENOSPC;
     case ErrorCode::kBadFd: return ShimErrno::kEBADF;
     case ErrorCode::kInvalidArgument: return ShimErrno::kEINVAL;
+    case ErrorCode::kTimedOut: return ShimErrno::kTimedOut;
+    case ErrorCode::kUnreachable: return ShimErrno::kHostUnreach;
     default: return ShimErrno::kEIO;
   }
 }

@@ -31,6 +31,8 @@ enum class ShimErrno : int {
   kENOSPC = 28,
   kEBADF = 9,
   kEIO = 5,
+  kTimedOut = 110,    // ETIMEDOUT
+  kHostUnreach = 113, // EHOSTUNREACH
 };
 
 ShimErrno to_errno(const Status& status);

@@ -98,6 +98,10 @@ class NvmecrClient final : public baselines::StorageClient {
       auto dev = target.connect(my_node, job.nsid_per_ssd[ssd_index]);
       if (!dev.ok()) co_return dev.status();
       base_dev_ = std::move(dev).value();
+      if (system_.config_.device_wrapper) {
+        base_dev_ = system_.config_.device_wrapper(
+            std::move(base_dev_), job.assignment.ssd_nodes[ssd_index], rank);
+      }
     } else {
       // Local SSD on the process's own compute node: one namespace per
       // node's rank group, created lazily by slot 0 convention — here we

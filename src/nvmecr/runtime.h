@@ -18,6 +18,7 @@
 //   in microfs::Options.
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "baselines/storage_api.h"
@@ -48,6 +49,17 @@ struct RuntimeConfig {
   bool remote = true;
 
   kernelfs::KernelCosts kernel_costs;
+
+  /// Optional hook applied to the qpair device right after connect()
+  /// (remote mode only): receives the raw remote BlockDevice plus the
+  /// storage node and rank it serves, and returns the device the rest of
+  /// the chain is built on. The resilience layer installs its retrying /
+  /// health-reporting wrapper here — keeping src/resilience out of the
+  /// runtime's dependency set.
+  std::function<std::unique_ptr<hw::BlockDevice>(
+      std::unique_ptr<hw::BlockDevice>, fabric::NodeId storage_node,
+      uint32_t rank)>
+      device_wrapper;
 };
 
 class NvmecrSystem final : public baselines::StorageSystem {

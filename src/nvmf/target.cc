@@ -25,92 +25,144 @@ class RemoteDevice final : public hw::BlockDevice {
   sim::Task<Status> write(uint64_t offset,
                           std::span<const std::byte> data) override {
     const SimTime t0 = target_.engine().now();
-    co_await request(target_.params().command_bytes + data.size());
+    Status rq = co_await request(target_.params().command_bytes + data.size());
+    if (!rq.ok()) co_return rq;
     Status s = co_await ssd_view_->write(offset, data);
-    co_await response(target_.params().completion_bytes);
+    Status rs = co_await response(target_.params().completion_bytes);
     target_.record_op_span("write", t0, data.size());
-    co_return s;
+    if (!s.ok()) co_return s;
+    co_return rs;
   }
 
   sim::Task<Status> read(uint64_t offset, std::span<std::byte> out) override {
     const SimTime t0 = target_.engine().now();
-    co_await request(target_.params().command_bytes);
+    Status rq = co_await request(target_.params().command_bytes);
+    if (!rq.ok()) co_return rq;
     Status s = co_await ssd_view_->read(offset, out);
-    co_await response(target_.params().completion_bytes + out.size());
+    Status rs = co_await response(target_.params().completion_bytes +
+                                  out.size());
     target_.record_op_span("read", t0, out.size());
-    co_return s;
+    if (!s.ok()) co_return s;
+    co_return rs;
   }
 
   sim::Task<Status> write_tagged(uint64_t offset, uint64_t len,
                                  uint64_t seed) override {
     const SimTime t0 = target_.engine().now();
-    co_await request(target_.params().command_bytes + len);
+    Status rq = co_await request(target_.params().command_bytes + len);
+    if (!rq.ok()) co_return rq;
     Status s = co_await ssd_view_->write_tagged(offset, len, seed);
-    co_await response(target_.params().completion_bytes);
+    Status rs = co_await response(target_.params().completion_bytes);
     target_.record_op_span("write", t0, len);
-    co_return s;
+    if (!s.ok()) co_return s;
+    co_return rs;
   }
 
   sim::Task<StatusOr<uint64_t>> read_tagged(uint64_t offset,
                                             uint64_t len) override {
     const SimTime t0 = target_.engine().now();
-    co_await request(target_.params().command_bytes);
+    Status rq = co_await request(target_.params().command_bytes);
+    if (!rq.ok()) co_return StatusOr<uint64_t>(rq);
     auto r = co_await ssd_view_->read_tagged(offset, len);
-    co_await response(target_.params().completion_bytes + len);
+    Status rs = co_await response(target_.params().completion_bytes + len);
     target_.record_op_span("read", t0, len);
+    if (r.ok() && !rs.ok()) co_return StatusOr<uint64_t>(rs);
     co_return r;
   }
 
   sim::Task<Status> flush() override {
     const SimTime t0 = target_.engine().now();
-    co_await request(target_.params().command_bytes);
+    Status rq = co_await request(target_.params().command_bytes);
+    if (!rq.ok()) co_return rq;
     Status s = co_await ssd_view_->flush();
-    co_await response(target_.params().completion_bytes);
+    Status rs = co_await response(target_.params().completion_bytes);
     target_.record_op_span("flush", t0, 0);
-    co_return s;
+    if (!s.ok()) co_return s;
+    co_return rs;
   }
 
   sim::Task<Status> write_tagged_batch(uint64_t offset, uint64_t len,
                                        uint64_t seed,
                                        uint32_t subcmds) override {
     const SimTime t0 = target_.engine().now();
-    co_await request(target_.params().command_bytes * subcmds + len, subcmds);
+    Status rq = co_await request(
+        target_.params().command_bytes * subcmds + len, subcmds);
+    if (!rq.ok()) co_return rq;
     Status s = co_await ssd_view_->write_tagged_batch(offset, len, seed,
                                                       subcmds);
-    co_await response(target_.params().completion_bytes * subcmds, subcmds);
+    Status rs = co_await response(target_.params().completion_bytes * subcmds,
+                                  subcmds);
     target_.record_op_span("write_batch", t0, len);
-    co_return s;
+    if (!s.ok()) co_return s;
+    co_return rs;
   }
 
   sim::Task<StatusOr<uint64_t>> read_tagged_batch(uint64_t offset,
                                                   uint64_t len,
                                                   uint32_t subcmds) override {
     const SimTime t0 = target_.engine().now();
-    co_await request(target_.params().command_bytes * subcmds, subcmds);
+    Status rq = co_await request(target_.params().command_bytes * subcmds,
+                                 subcmds);
+    if (!rq.ok()) co_return StatusOr<uint64_t>(rq);
     auto r = co_await ssd_view_->read_tagged_batch(offset, len, subcmds);
-    co_await response(target_.params().completion_bytes * subcmds + len,
-                      subcmds);
+    Status rs = co_await response(
+        target_.params().completion_bytes * subcmds + len, subcmds);
     target_.record_op_span("read_batch", t0, len);
+    if (r.ok() && !rs.ok()) co_return StatusOr<uint64_t>(rs);
     co_return r;
   }
 
  private:
   /// Initiator CPU, capsule (+ inline data) to the target, poll group;
   /// `count` commands' worth for batched submissions. Inflight (qpair
-  /// depth) accounting opens here and closes in response().
-  sim::Task<void> request(uint64_t wire_bytes, uint32_t count = 1) {
+  /// depth) accounting opens here; on failure it closes here too (the
+  /// command is dead), otherwise response() closes it. A crashed target
+  /// daemon or a down link surfaces as kUnreachable / kTimedOut after
+  /// the transport timeout — never as a hang.
+  sim::Task<Status> request(uint64_t wire_bytes, uint32_t count = 1) {
     sim::Engine& eng = target_.engine();
     target_.command_begin(count);
     co_await eng.delay(target_.params().initiator_per_cmd * count);
-    co_await target_.network().transfer(client_, target_.node(), wire_bytes);
+    if (!target_.alive(eng.now())) {
+      co_await eng.delay(target_.network().params().transport_timeout);
+      target_.command_end(count);
+      co_return UnreachableError("nvmf target on node " +
+                                 std::to_string(target_.node()) + " down");
+    }
+    Status s = co_await target_.network().try_transfer(client_, target_.node(),
+                                                       wire_bytes);
+    if (!s.ok()) {
+      target_.command_end(count);
+      co_return s;
+    }
     const SimTime cpu_done = target_.reserve_poll_group(eng.now(), count);
     co_await eng.sleep_until(cpu_done);
+    if (!target_.alive(eng.now())) {
+      // The daemon died while the command sat in the poll group.
+      co_await eng.delay(target_.network().params().transport_timeout);
+      target_.command_end(count);
+      co_return UnreachableError("nvmf target on node " +
+                                 std::to_string(target_.node()) +
+                                 " died processing command");
+    }
+    co_return OkStatus();
   }
 
-  /// Completion (+ read data) back to the initiator.
-  sim::Task<void> response(uint64_t wire_bytes, uint32_t count = 1) {
-    co_await target_.network().transfer(target_.node(), client_, wire_bytes);
+  /// Completion (+ read data) back to the initiator. Always closes the
+  /// inflight window opened by request().
+  sim::Task<Status> response(uint64_t wire_bytes, uint32_t count = 1) {
+    sim::Engine& eng = target_.engine();
+    if (!target_.alive(eng.now())) {
+      co_await eng.delay(target_.network().params().transport_timeout);
+      target_.command_end(count);
+      co_return UnreachableError("nvmf target on node " +
+                                 std::to_string(target_.node()) +
+                                 " died before completing");
+    }
+    Status s = co_await target_.network().try_transfer(target_.node(), client_,
+                                                       wire_bytes);
     target_.command_end(count);
+    co_return s;
   }
 
   NvmfTarget& target_;

@@ -88,6 +88,24 @@ class NvmfTarget {
   /// Records one initiator-visible operation span (no-op untraced).
   void record_op_span(const char* name, SimTime start, uint64_t bytes);
 
+  // --- fault injection (resilience tests) ------------------------------
+  /// Declares the target daemon crashed from sim-time `at` (until
+  /// `recover_at`; 0 = forever): commands in the window get no response
+  /// and initiators see kUnreachable after the transport timeout. The
+  /// SSD behind it is untouched — this models a userspace daemon / node
+  /// OS loss, distinct from NvmeSsd::schedule_crash.
+  void schedule_crash(SimTime at, SimTime recover_at = 0) {
+    crash_armed_ = true;
+    crash_at_ = at;
+    recover_at_ = recover_at;
+  }
+  /// True when the target daemon is responsive at time `t` (the
+  /// management-plane liveness check heartbeat probes use).
+  bool alive(SimTime t) const {
+    return !(crash_armed_ && t >= crash_at_ &&
+             (recover_at_ == 0 || t < recover_at_));
+  }
+
  private:
   sim::Engine& engine_;
   fabric::Network& network_;
@@ -101,6 +119,9 @@ class NvmfTarget {
   /// (queue id, connections using it); shared once the budget runs out.
   std::vector<std::pair<uint32_t, uint32_t>> queue_refs_;
   uint32_t next_shared_ = 0;
+  bool crash_armed_ = false;
+  SimTime crash_at_ = 0;
+  SimTime recover_at_ = 0;  // 0 = crashed forever
 
   // Observability (null/empty when detached).
   obs::Observer obs_;

@@ -1,0 +1,567 @@
+#include "resilience/failover.h"
+
+#include <utility>
+
+#include "simcore/trace.h"
+
+namespace nvmecr::resilience {
+
+// ---------------------------------------------------------------------
+// ResilientSystem
+// ---------------------------------------------------------------------
+
+ResilientSystem::ResilientSystem(nvmecr_rt::Cluster& cluster,
+                                 nvmecr_rt::Scheduler& scheduler,
+                                 baselines::StorageSystem& inner,
+                                 HealthMonitor& monitor,
+                                 const nvmecr_rt::JobAllocation& primary_job,
+                                 nvmecr_rt::RuntimeConfig spare_config,
+                                 ResilienceOptions options)
+    : cluster_(cluster),
+      scheduler_(scheduler),
+      inner_(inner),
+      monitor_(monitor),
+      primary_job_(primary_job),
+      spare_config_(std::move(spare_config)),
+      options_(options) {
+  // Track every primary target up front so the heartbeat covers targets
+  // a rank has not touched yet.
+  for (fabric::NodeId n : primary_job_.assignment.ssd_nodes) {
+    monitor_.track(n);
+  }
+}
+
+ResilientSystem::~ResilientSystem() = default;
+
+void ResilientSystem::set_observer(const obs::Observer& o) {
+  obs_ = o;
+  if (obs_.metrics != nullptr) {
+    m_failovers_ = obs_.metrics->counter("resilience.failovers");
+    m_heal_bytes_ = obs_.metrics->counter("resilience.heal_bytes");
+    m_degraded_ckpts_ = obs_.metrics->counter("resilience.degraded_ckpts");
+  } else {
+    m_failovers_ = nullptr;
+    m_heal_bytes_ = nullptr;
+    m_degraded_ckpts_ = nullptr;
+  }
+}
+
+fabric::NodeId ResilientSystem::primary_node_of(uint32_t rank) const {
+  const auto& a = primary_job_.assignment;
+  return a.ssd_nodes[a.ssd_of_rank[rank]];
+}
+
+ResilientSystem::RankState& ResilientSystem::rank_state(uint32_t rank) {
+  auto it = ranks_.find(rank);
+  if (it == ranks_.end()) {
+    it = ranks_
+             .emplace(rank,
+                      std::make_unique<RankState>(cluster_.engine()))
+             .first;
+  }
+  return *it->second;
+}
+
+sim::Task<StatusOr<std::unique_ptr<baselines::StorageClient>>>
+ResilientSystem::connect(int rank) {
+  auto inner = co_await inner_.connect(rank);
+  std::unique_ptr<baselines::StorageClient> inner_client;
+  if (inner.ok()) {
+    inner_client = std::move(*inner);
+  } else if (is_retryable(inner.status().code())) {
+    // The rank's primary target is already unreachable at connect time.
+    // Hand out a client with no inner session: every write goes straight
+    // to a partner-domain spare (degraded from the first byte) instead
+    // of failing the job before it starts.
+    monitor_.note_exhausted(primary_node_of(static_cast<uint32_t>(rank)));
+  } else {
+    co_return inner;
+  }
+  std::unique_ptr<baselines::StorageClient> client =
+      std::make_unique<ResilientClient>(*this, static_cast<uint32_t>(rank),
+                                        std::move(inner_client));
+  co_return client;
+}
+
+ResilientClient* ResilientSystem::client_of(uint32_t rank) {
+  auto it = ranks_.find(rank);
+  return it == ranks_.end() ? nullptr : it->second->client;
+}
+
+const DegradedEntry* ResilientSystem::degraded_entry(
+    uint32_t rank, const std::string& path) const {
+  auto it = ranks_.find(rank);
+  if (it == ranks_.end()) return nullptr;
+  auto jt = it->second->degraded.find(path);
+  return jt == it->second->degraded.end() ? nullptr : &jt->second;
+}
+
+std::vector<uint32_t> ResilientSystem::degraded_ranks() const {
+  std::vector<uint32_t> out;
+  for (const auto& [rank, rs] : ranks_) {
+    for (const auto& [path, e] : rs->degraded) {
+      (void)path;
+      if (e.state == DegradedState::kDegraded) {
+        out.push_back(rank);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+sim::Task<Status> ResilientSystem::ensure_spare(uint32_t rank) {
+  RankState& rs = rank_state(rank);
+  if (rs.spare_allocated) co_return OkStatus();
+
+  nvmecr_rt::BalancerRequest req;
+  req.rank_nodes = {primary_job_.rank_nodes[rank]};
+  req.storage_nodes = cluster_.storage_nodes();
+  req.num_ssds = 1;
+  req.min_procs_per_ssd = 1;
+  req.exclude_domains = monitor_.dead_domains();
+  auto assign = nvmecr_rt::StorageBalancer::assign(
+      cluster_.topology(), req, options_.allow_same_domain_spare);
+  // Typed exhaustion (kUnavailable) when every partner domain is dead:
+  // the caller surfaces it; no retry loop can help here.
+  if (!assign.ok()) co_return assign.status();
+
+  auto job = scheduler_.allocate_with_assignment(
+      std::move(*assign), req.rank_nodes, 1, primary_job_.partition_bytes);
+  if (!job.ok()) co_return job.status();
+  rs.spare_job = std::move(*job);
+
+  rs.spare_system = std::make_unique<nvmecr_rt::NvmecrSystem>(
+      cluster_, rs.spare_job, spare_config_);
+  auto client = co_await rs.spare_system->connect(0);
+  if (!client.ok()) co_return client.status();
+  rs.spare_client = std::move(*client);
+  rs.spare_allocated = true;
+  co_return OkStatus();
+}
+
+sim::Task<Status> ResilientSystem::heal_file(uint32_t rank, std::string path) {
+  RankState& rs = rank_state(rank);
+  auto it = rs.degraded.find(path);
+  if (it == rs.degraded.end()) co_return OkStatus();
+  baselines::StorageClient* inner_ptr =
+      rs.client != nullptr ? rs.client->inner_.get() : rs.retained_inner.get();
+  if (inner_ptr == nullptr) {
+    co_return UnavailableError("rank has no live session to heal with");
+  }
+  // Rewrite through the rank's inner chain: the redundancy engine
+  // re-replicates behind these writes, restoring full redundancy on the
+  // recovered primary. (A fresh connect would reformat the partition, so
+  // healing reuses the live — or retained — session.)
+  baselines::StorageClient& inner = *inner_ptr;
+  sim::TraceSpan span(obs_.trace, "resilience", "heal:" + path,
+                      cluster_.engine());
+  auto fd = co_await inner.create(path);
+  if (!fd.ok()) co_return fd.status();
+  for (uint64_t len : it->second.writes) {
+    Status s = co_await inner.write(*fd, len);
+    if (!s.ok()) co_return s;
+  }
+  NVMECR_CO_RETURN_IF_ERROR(co_await inner.fsync(*fd));
+  NVMECR_CO_RETURN_IF_ERROR(co_await inner.close(*fd));
+  co_return OkStatus();
+}
+
+sim::Task<void> ResilientSystem::heal_node(fabric::NodeId node) {
+  // Heal every complete degraded file whose primary target is `node`.
+  // Snapshot paths first: fd-table / manifest mutation can happen while
+  // we are suspended inside heal_file.
+  for (auto& [rank, rs] : ranks_) {
+    if (primary_node_of(rank) != node) continue;
+    std::vector<std::string> paths;
+    for (const auto& [path, e] : rs->degraded) {
+      if (e.state == DegradedState::kDegraded && e.complete) {
+        paths.push_back(path);
+      }
+    }
+    for (const std::string& path : paths) {
+      co_await rs->io_mutex.lock();
+      auto it = rs->degraded.find(path);
+      if (it != rs->degraded.end() &&
+          it->second.state == DegradedState::kDegraded &&
+          it->second.complete) {
+        Status s = co_await heal_file(rank, path);
+        if (s.ok()) {
+          it->second.state = DegradedState::kHealed;
+          healed_bytes_ += it->second.bytes;
+          if (m_heal_bytes_ != nullptr) m_heal_bytes_->add(it->second.bytes);
+        }
+      }
+      rs->io_mutex.unlock();
+    }
+  }
+}
+
+sim::Task<void> ResilientSystem::healer(SimTime until, SimDuration period) {
+  while (cluster_.engine().now() + period <= until) {
+    co_await cluster_.engine().delay(period);
+    // Heal files whose primary answers again (kHealing), and also any
+    // stragglers that closed degraded after their node already recovered.
+    for (fabric::NodeId node : monitor_.nodes_in_state(TargetState::kHealing)) {
+      co_await heal_node(node);
+    }
+    for (fabric::NodeId node : monitor_.nodes_in_state(TargetState::kHealthy)) {
+      co_await heal_node(node);
+    }
+    // A healing node with no complete degraded files left is done.
+    for (fabric::NodeId node : monitor_.nodes_in_state(TargetState::kHealing)) {
+      bool remaining = false;
+      for (const auto& [rank, rs] : ranks_) {
+        if (primary_node_of(rank) != node) continue;
+        for (const auto& [path, e] : rs->degraded) {
+          (void)path;
+          if (e.state == DegradedState::kDegraded && e.complete) {
+            remaining = true;
+            break;
+          }
+        }
+        if (remaining) break;
+      }
+      if (!remaining) monitor_.note_healed(node);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// ResilientClient
+// ---------------------------------------------------------------------
+
+ResilientClient::ResilientClient(
+    ResilientSystem& sys, uint32_t rank,
+    std::unique_ptr<baselines::StorageClient> inner)
+    : sys_(sys),
+      rank_(rank),
+      primary_node_(sys.primary_node_of(rank)),
+      inner_(std::move(inner)) {
+  ResilientSystem::RankState& rs = sys_.rank_state(rank_);
+  rs.client = this;
+  rs.retained_inner.reset();  // a reconnect supersedes the old session
+}
+
+ResilientClient::~ResilientClient() {
+  ResilientSystem::RankState& rs = sys_.rank_state(rank_);
+  rs.client = nullptr;
+  // Keep the inner session alive for the healer: its mounted fs (and the
+  // redundancy engine's replica streams behind it) are the only way to
+  // rewrite degraded files without reformatting the partition.
+  rs.retained_inner = std::move(inner_);
+}
+
+bool ResilientClient::should_failover(const Status& s) const {
+  return !s.ok() && is_retryable(s.code());
+}
+
+sim::Task<Status> ResilientClient::failover_file(OpenFile& f) {
+  // A surfaced retryable error means the retry budget is spent; make
+  // sure the monitor agrees before asking the balancer for dead domains.
+  sys_.monitor_.note_exhausted(primary_node_);
+  sim::TraceSpan span(sys_.obs_.trace, "resilience", "failover:" + f.path,
+                      sys_.cluster_.engine());
+  NVMECR_CO_RETURN_IF_ERROR(co_await sys_.ensure_spare(rank_));
+  ResilientSystem::RankState& rs = sys_.rank_state(rank_);
+  auto fd = co_await rs.spare_client->create(f.path);
+  if (!fd.ok()) co_return fd.status();
+  f.spare_fd = *fd;
+  f.on_spare = true;
+  // Replay the journaled appends: content is deterministic in
+  // (rank, path), so this regenerates the byte-identical stream.
+  for (uint64_t len : f.journal) {
+    Status s = co_await rs.spare_client->write(f.spare_fd, len);
+    if (!s.ok()) co_return s;
+  }
+  DegradedEntry& e = rs.degraded[f.path];
+  e.state = DegradedState::kDegraded;
+  e.bytes = f.bytes;
+  e.writes = f.journal;
+  e.complete = false;
+  ++sys_.failovers_;
+  if (sys_.m_failovers_ != nullptr) sys_.m_failovers_->add();
+  // The inner fd (if any) stays open on the dead target: closing it
+  // would just burn another IO timeout. The leak is recorded nowhere the
+  // driver can trip over, and healing rewrites the file from scratch.
+  co_return OkStatus();
+}
+
+sim::Task<StatusOr<int>> ResilientClient::create(const std::string& path) {
+  ResilientSystem::RankState& rs = sys_.rank_state(rank_);
+  co_await rs.io_mutex.lock();
+  OpenFile f;
+  f.path = path;
+  f.writing = true;
+  if (inner_ != nullptr && !sys_.monitor_.dead(primary_node_)) {
+    auto fd = co_await inner_->create(path);
+    if (fd.ok()) {
+      f.inner_fd = *fd;
+    } else if (!should_failover(fd.status())) {
+      rs.io_mutex.unlock();
+      co_return fd;
+    }
+  }
+  if (f.inner_fd < 0) {
+    // Primary already known dead, or the create itself timed out: the
+    // stream starts life on the spare (degraded from the first byte).
+    Status s = co_await failover_file(f);
+    if (!s.ok()) {
+      rs.io_mutex.unlock();
+      co_return StatusOr<int>(s);
+    }
+  }
+  const int fd = next_fd_++;
+  open_[fd] = std::move(f);
+  rs.io_mutex.unlock();
+  co_return fd;
+}
+
+sim::Task<StatusOr<int>> ResilientClient::open_read(const std::string& path) {
+  ResilientSystem::RankState& rs = sys_.rank_state(rank_);
+  co_await rs.io_mutex.lock();
+  OpenFile f;
+  f.path = path;
+  auto it = rs.degraded.find(path);
+  StatusOr<int> r = InvalidArgumentError("unopened");
+  if (it != rs.degraded.end() &&
+      it->second.state == DegradedState::kDegraded) {
+    // Degraded checkpoints live on the spare only.
+    r = co_await rs.spare_client->open_read(path);
+    if (r.ok()) {
+      f.spare_fd = *r;
+      f.on_spare = true;
+    }
+  } else if (inner_ != nullptr) {
+    r = co_await inner_->open_read(path);
+    if (r.ok()) f.inner_fd = *r;
+  } else {
+    r = UnavailableError("no inner session (primary dead since connect)");
+  }
+  if (!r.ok()) {
+    rs.io_mutex.unlock();
+    co_return r;
+  }
+  const int fd = next_fd_++;
+  open_[fd] = std::move(f);
+  rs.io_mutex.unlock();
+  co_return fd;
+}
+
+sim::Task<Status> ResilientClient::write(int fd, uint64_t len) {
+  ResilientSystem::RankState& rs = sys_.rank_state(rank_);
+  co_await rs.io_mutex.lock();
+  auto it = open_.find(fd);
+  if (it == open_.end()) {
+    rs.io_mutex.unlock();
+    co_return InvalidArgumentError("bad fd");
+  }
+  OpenFile& f = it->second;
+  Status s;
+  if (!f.on_spare) {
+    s = co_await inner_->write(f.inner_fd, len);
+    if (should_failover(s)) {
+      s = co_await failover_file(f);
+      if (s.ok()) s = co_await rs.spare_client->write(f.spare_fd, len);
+    }
+  } else {
+    s = co_await rs.spare_client->write(f.spare_fd, len);
+  }
+  if (s.ok() && f.writing) {
+    f.bytes += len;
+    f.journal.push_back(len);
+  }
+  rs.io_mutex.unlock();
+  co_return s;
+}
+
+sim::Task<Status> ResilientClient::read(int fd, uint64_t len) {
+  ResilientSystem::RankState& rs = sys_.rank_state(rank_);
+  co_await rs.io_mutex.lock();
+  auto it = open_.find(fd);
+  if (it == open_.end()) {
+    rs.io_mutex.unlock();
+    co_return InvalidArgumentError("bad fd");
+  }
+  OpenFile& f = it->second;
+  Status s;
+  if (f.on_spare) {
+    s = co_await rs.spare_client->read(f.spare_fd, len);
+  } else {
+    s = co_await inner_->read(f.inner_fd, len);
+  }
+  rs.io_mutex.unlock();
+  co_return s;
+}
+
+sim::Task<Status> ResilientClient::fsync(int fd) {
+  ResilientSystem::RankState& rs = sys_.rank_state(rank_);
+  co_await rs.io_mutex.lock();
+  auto it = open_.find(fd);
+  if (it == open_.end()) {
+    rs.io_mutex.unlock();
+    co_return InvalidArgumentError("bad fd");
+  }
+  OpenFile& f = it->second;
+  Status s;
+  if (!f.on_spare) {
+    s = co_await inner_->fsync(f.inner_fd);
+    if (should_failover(s)) {
+      s = co_await failover_file(f);
+      if (s.ok()) s = co_await rs.spare_client->fsync(f.spare_fd);
+    }
+  } else {
+    s = co_await rs.spare_client->fsync(f.spare_fd);
+  }
+  rs.io_mutex.unlock();
+  co_return s;
+}
+
+sim::Task<Status> ResilientClient::close(int fd) {
+  ResilientSystem::RankState& rs = sys_.rank_state(rank_);
+  co_await rs.io_mutex.lock();
+  auto it = open_.find(fd);
+  if (it == open_.end()) {
+    rs.io_mutex.unlock();
+    co_return InvalidArgumentError("bad fd");
+  }
+  OpenFile f = std::move(it->second);
+  open_.erase(it);
+  Status s;
+  if (!f.on_spare) {
+    s = co_await inner_->close(f.inner_fd);
+    if (should_failover(s)) {
+      s = co_await failover_file(f);
+      if (s.ok()) s = co_await rs.spare_client->fsync(f.spare_fd);
+      if (s.ok()) s = co_await rs.spare_client->close(f.spare_fd);
+    }
+  } else {
+    s = co_await rs.spare_client->close(f.spare_fd);
+  }
+  if (s.ok() && f.writing && f.on_spare) {
+    DegradedEntry& e = rs.degraded[f.path];
+    e.state = DegradedState::kDegraded;
+    e.bytes = f.bytes;
+    e.writes = std::move(f.journal);
+    e.complete = true;
+    if (sys_.m_degraded_ckpts_ != nullptr) sys_.m_degraded_ckpts_->add();
+  }
+  rs.io_mutex.unlock();
+  co_return s;
+}
+
+sim::Task<Status> ResilientClient::unlink(const std::string& path) {
+  ResilientSystem::RankState& rs = sys_.rank_state(rank_);
+  co_await rs.io_mutex.lock();
+  Status result = OkStatus();
+  auto it = rs.degraded.find(path);
+  if (it != rs.degraded.end()) {
+    if (rs.spare_client != nullptr) {
+      Status s = co_await rs.spare_client->unlink(path);
+      if (!s.ok() && s.code() != ErrorCode::kNotFound) result = s;
+    }
+    rs.degraded.erase(it);
+  }
+  // The inner copy: absent for files that went straight to the spare
+  // (tolerate kNotFound), unreachable when the primary is dead (the
+  // retention unlink must not stall the run — the namespace dies with
+  // the job anyway, §I).
+  if (inner_ != nullptr && !sys_.monitor_.dead(primary_node_)) {
+    Status s = co_await inner_->unlink(path);
+    if (!s.ok() && s.code() != ErrorCode::kNotFound &&
+        !is_retryable(s.code()) && result.ok()) {
+      result = s;
+    }
+  }
+  rs.io_mutex.unlock();
+  co_return result;
+}
+
+// ---------------------------------------------------------------------
+// FailoverView
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Read-only client over one rank's degraded/healed checkpoints, for the
+/// MultiLevelRouter restart chain. Routes exactly like the rank's
+/// ResilientClient reads: degraded -> spare session, healed -> inner.
+class FailoverViewClient final : public baselines::StorageClient {
+ public:
+  FailoverViewClient(ResilientSystem& sys, uint32_t rank)
+      : sys_(sys), rank_(rank) {}
+
+  sim::Task<StatusOr<int>> create(const std::string& path) override {
+    (void)path;
+    co_return StatusOr<int>(
+        PermissionError("failover view is read-only"));
+  }
+  sim::Task<Status> write(int fd, uint64_t len) override {
+    (void)fd;
+    (void)len;
+    co_return PermissionError("failover view is read-only");
+  }
+  sim::Task<Status> fsync(int fd) override {
+    (void)fd;
+    co_return PermissionError("failover view is read-only");
+  }
+  sim::Task<Status> unlink(const std::string& path) override {
+    (void)path;
+    co_return PermissionError("failover view is read-only");
+  }
+
+  sim::Task<StatusOr<int>> open_read(const std::string& path) override {
+    const DegradedEntry* e = sys_.degraded_entry(rank_, path);
+    if (e == nullptr || !e->complete) {
+      co_return StatusOr<int>(
+          NotFoundError("no degraded/healed copy of " + path));
+    }
+    ResilientClient* client = sys_.client_of(rank_);
+    if (client == nullptr) {
+      co_return StatusOr<int>(
+          UnavailableError("rank session is gone"));
+    }
+    auto fd = co_await client->open_read(path);
+    if (!fd.ok()) co_return fd;
+    const int vfd = next_fd_++;
+    routed_[vfd] = *fd;
+    co_return vfd;
+  }
+
+  sim::Task<Status> read(int fd, uint64_t len) override {
+    auto it = routed_.find(fd);
+    if (it == routed_.end()) co_return InvalidArgumentError("bad fd");
+    ResilientClient* client = sys_.client_of(rank_);
+    if (client == nullptr) {
+      co_return UnavailableError("rank session is gone");
+    }
+    co_return co_await client->read(it->second, len);
+  }
+
+  sim::Task<Status> close(int fd) override {
+    auto it = routed_.find(fd);
+    if (it == routed_.end()) co_return InvalidArgumentError("bad fd");
+    const int real = it->second;
+    routed_.erase(it);
+    ResilientClient* client = sys_.client_of(rank_);
+    if (client == nullptr) {
+      co_return UnavailableError("rank session is gone");
+    }
+    co_return co_await client->close(real);
+  }
+
+ private:
+  ResilientSystem& sys_;
+  uint32_t rank_;
+  std::map<int, int> routed_;  // view fd -> ResilientClient fd
+  int next_fd_ = 5000;
+};
+
+}  // namespace
+
+std::unique_ptr<baselines::StorageClient> ResilientSystem::failover_view(
+    uint32_t rank) {
+  return std::make_unique<FailoverViewClient>(*this, rank);
+}
+
+}  // namespace nvmecr::resilience

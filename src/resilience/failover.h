@@ -1,0 +1,249 @@
+// Mid-checkpoint failover and background healing (DESIGN.md §13).
+//
+// ResilientSystem wraps a deployed storage system (typically the
+// redundancy engine over the NVMe-CR runtime) and absorbs storage-target
+// death while a checkpoint is in flight:
+//
+//        application rank
+//              |
+//        ResilientClient ------------------.
+//              | healthy path              | after target death
+//        inner client                 spare client (NvmecrSystem on a
+//        (RedundantClient ->          partner domain EXCLUDING every
+//         NvmecrClient)               dead domain, via the balancer's
+//              |                      exclude_domains)
+//        primary + replica NS         spare namespace
+//
+// Failover protocol, per file: every successful append is journaled
+// (length only — content is the deterministic (rank, path) stream, so a
+// replay regenerates identical bytes, exactly like a checkpoint library
+// re-emitting from application memory). When an op fails with a
+// RETRYABLE error and the HealthMonitor has declared the rank's primary
+// target dead, the client (1) provisions a one-rank spare session placed
+// by the StorageBalancer with exclude_domains = monitor.dead_domains(),
+// (2) re-creates the file there and replays the journal, (3) redoes the
+// failed op and continues. The checkpoint completes in DEGRADED mode —
+// it lives on the spare only, without partner/parity redundancy — and is
+// recorded as such in the degraded manifest.
+//
+// Healing: once the dead target answers probes again (monitor state
+// kHealing), the bounded healer daemon rewrites each degraded file
+// through the rank's inner client — which re-runs the redundancy
+// engine's replication — marks it kHealed, counts resilience.heal_bytes,
+// and reports note_healed() when the node's last degraded file is done.
+//
+// Restart: ResilientClient::open_read serves degraded files from the
+// spare and everything else from the inner chain, so the driver's
+// restart read works unchanged. failover_view(rank) exposes the same
+// routing as a read-only client for MultiLevelRouter::set_failover
+// (restart chain: fast > failover > reconstructed > PFS).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/storage_api.h"
+#include "nvmecr/cluster.h"
+#include "nvmecr/runtime.h"
+#include "resilience/health.h"
+#include "resilience/retry.h"
+#include "simcore/sync.h"
+
+namespace nvmecr::resilience {
+
+class ResilientClient;
+
+struct ResilienceOptions {
+  RetryPolicy retry;
+  HealthParams health;
+  /// Seed for the per-device jitter streams (see make_retry_wrapper).
+  uint64_t seed = 42;
+  /// Allow the spare in the rank's own failure domain when every partner
+  /// domain is dead (off: typed kUnavailable exhaustion instead).
+  bool allow_same_domain_spare = false;
+};
+
+enum class DegradedState {
+  kDegraded,  // lives on the spare only, no redundancy
+  kHealed,    // rewritten through the inner chain, fully redundant again
+};
+
+/// One checkpoint file that finished in degraded mode.
+struct DegradedEntry {
+  DegradedState state = DegradedState::kDegraded;
+  uint64_t bytes = 0;
+  std::vector<uint64_t> writes;  // append lengths, replay order
+  bool complete = false;         // closed on the spare
+};
+
+class ResilientSystem final : public baselines::StorageSystem {
+ public:
+  /// `inner` must outlive this system; `primary_job` is the inner
+  /// deployment's allocation (maps each rank to its primary target).
+  /// `spare_config` configures spare runtimes provisioned at failover —
+  /// pass the same RuntimeConfig as the primary deployment (its
+  /// device_wrapper included, so spares are themselves retried and
+  /// health-tracked).
+  ResilientSystem(nvmecr_rt::Cluster& cluster, nvmecr_rt::Scheduler& scheduler,
+                  baselines::StorageSystem& inner, HealthMonitor& monitor,
+                  const nvmecr_rt::JobAllocation& primary_job,
+                  nvmecr_rt::RuntimeConfig spare_config,
+                  ResilienceOptions options = {});
+  ~ResilientSystem() override;
+
+  std::string name() const override { return inner_.name() + "+resilience"; }
+  sim::Task<StatusOr<std::unique_ptr<baselines::StorageClient>>> connect(
+      int rank) override;
+
+  uint64_t hardware_peak_write_bw() const override {
+    return inner_.hardware_peak_write_bw();
+  }
+  uint64_t hardware_peak_read_bw() const override {
+    return inner_.hardware_peak_read_bw();
+  }
+  std::vector<uint64_t> bytes_per_server() const override {
+    return inner_.bytes_per_server();
+  }
+  uint64_t metadata_bytes() const override { return inner_.metadata_bytes(); }
+  SimDuration kernel_time() const override { return inner_.kernel_time(); }
+
+  HealthMonitor& monitor() { return monitor_; }
+  const ResilienceOptions& options() const { return options_; }
+
+  /// Primary storage target of `rank` under the inner deployment.
+  fabric::NodeId primary_node_of(uint32_t rank) const;
+
+  /// Failovers performed (spare sessions provisioned).
+  uint64_t failovers() const { return failovers_; }
+  /// Device bytes rewritten by the healer.
+  uint64_t healed_bytes() const { return healed_bytes_; }
+
+  /// Degraded-manifest lookup; nullptr when the file never degraded.
+  const DegradedEntry* degraded_entry(uint32_t rank,
+                                      const std::string& path) const;
+  /// Ranks with at least one degraded (not yet healed) file.
+  std::vector<uint32_t> degraded_ranks() const;
+
+  /// Read-only client serving rank's degraded/healed checkpoints, for
+  /// MultiLevelRouter::set_failover. Valid while the rank's
+  /// ResilientClient is alive; writes are rejected.
+  std::unique_ptr<baselines::StorageClient> failover_view(uint32_t rank);
+
+  /// Rank's live session, nullptr after the client is torn down.
+  ResilientClient* client_of(uint32_t rank);
+
+  /// Bounded healer daemon: every `period` until sim-time `until`, scans
+  /// for kHealing targets and rewrites their ranks' degraded files
+  /// through the inner chain (restoring full redundancy), then reports
+  /// note_healed(). Spawn on the cluster engine alongside the workload.
+  sim::Task<void> healer(SimTime until, SimDuration period = 500'000);
+
+  void set_observer(const obs::Observer& o);
+
+ private:
+  friend class ResilientClient;
+  friend class FailoverView;
+
+  struct RankState {
+    explicit RankState(sim::Engine& e) : io_mutex(e) {}
+    /// Serializes foreground client ops against the healer: the inner
+    /// client is a single session and (like the redundancy engine's
+    /// repl_mutex) does not tolerate concurrent operations.
+    sim::FifoMutex io_mutex;
+    ResilientClient* client = nullptr;  // live session registry
+    /// The inner session, retained when the ResilientClient is torn
+    /// down (a workload driver destroys its clients when the run ends).
+    /// Healing must reuse a live session — a fresh connect would
+    /// reformat the partition — so the healer falls back to this.
+    std::unique_ptr<baselines::StorageClient> retained_inner;
+    /// Spare session, provisioned on first failover of this rank.
+    std::unique_ptr<nvmecr_rt::NvmecrSystem> spare_system;
+    std::unique_ptr<baselines::StorageClient> spare_client;
+    nvmecr_rt::JobAllocation spare_job;
+    bool spare_allocated = false;
+    std::map<std::string, DegradedEntry> degraded;
+  };
+
+  RankState& rank_state(uint32_t rank);
+
+  /// Provisions rank's spare session (idempotent): balancer placement
+  /// with exclude_domains = monitor.dead_domains(), one SSD, one rank.
+  sim::Task<Status> ensure_spare(uint32_t rank);
+
+  /// Rewrites one degraded file through the rank's inner client.
+  sim::Task<Status> heal_file(uint32_t rank, std::string path);
+  sim::Task<void> heal_node(fabric::NodeId node);
+
+  nvmecr_rt::Cluster& cluster_;
+  nvmecr_rt::Scheduler& scheduler_;
+  baselines::StorageSystem& inner_;
+  HealthMonitor& monitor_;
+  nvmecr_rt::JobAllocation primary_job_;
+  nvmecr_rt::RuntimeConfig spare_config_;
+  ResilienceOptions options_;
+
+  std::map<uint32_t, std::unique_ptr<RankState>> ranks_;
+
+  uint64_t failovers_ = 0;
+  uint64_t healed_bytes_ = 0;
+
+  obs::Observer obs_;
+  obs::Counter* m_failovers_ = nullptr;
+  obs::Counter* m_heal_bytes_ = nullptr;
+  obs::Counter* m_degraded_ckpts_ = nullptr;
+};
+
+/// Per-rank client: journals appends, absorbs primary-target death by
+/// pivoting the stream to the spare session mid-checkpoint.
+class ResilientClient final : public baselines::StorageClient {
+ public:
+  ResilientClient(ResilientSystem& sys, uint32_t rank,
+                  std::unique_ptr<baselines::StorageClient> inner);
+  ~ResilientClient() override;
+
+  sim::Task<StatusOr<int>> create(const std::string& path) override;
+  sim::Task<StatusOr<int>> open_read(const std::string& path) override;
+  sim::Task<Status> write(int fd, uint64_t len) override;
+  sim::Task<Status> read(int fd, uint64_t len) override;
+  sim::Task<Status> fsync(int fd) override;
+  sim::Task<Status> close(int fd) override;
+  sim::Task<Status> unlink(const std::string& path) override;
+
+  uint32_t rank() const { return rank_; }
+  baselines::StorageClient& inner() { return *inner_; }
+
+ private:
+  friend class ResilientSystem;
+  friend class FailoverView;
+
+  struct OpenFile {
+    std::string path;
+    bool writing = false;
+    int inner_fd = -1;  // fd on the inner chain (healthy path)
+    int spare_fd = -1;  // fd on the spare session (after failover)
+    bool on_spare = false;
+    uint64_t bytes = 0;
+    std::vector<uint64_t> journal;  // append lengths (writing only)
+  };
+
+  /// True when `s` should trigger failover: retryable error and the
+  /// monitor has declared this rank's primary target dead.
+  bool should_failover(const Status& s) const;
+
+  /// Pivots `f` to the spare: provisions the session if needed, creates
+  /// the file there and replays the journal. The failed op is then
+  /// redone on the spare by the caller.
+  sim::Task<Status> failover_file(OpenFile& f);
+
+  ResilientSystem& sys_;
+  uint32_t rank_;
+  fabric::NodeId primary_node_;
+  std::unique_ptr<baselines::StorageClient> inner_;
+  std::map<int, OpenFile> open_;
+  int next_fd_ = 1000;  // private fd space (maps onto inner/spare fds)
+};
+
+}  // namespace nvmecr::resilience

@@ -1,0 +1,155 @@
+#include "resilience/health.h"
+
+#include <algorithm>
+
+namespace nvmecr::resilience {
+
+const char* target_state_name(TargetState s) {
+  switch (s) {
+    case TargetState::kHealthy:
+      return "healthy";
+    case TargetState::kSuspect:
+      return "suspect";
+    case TargetState::kDead:
+      return "dead";
+    case TargetState::kHealing:
+      return "healing";
+  }
+  return "?";
+}
+
+void HealthMonitor::track(fabric::NodeId node) {
+  targets_.emplace(node, Target{});
+}
+
+void HealthMonitor::transition(fabric::NodeId node, Target& t,
+                               TargetState next) {
+  if (t.state == next) return;
+  if (next == TargetState::kDead) {
+    t.dead_since = engine_.now();
+    if (m_deaths_ != nullptr) m_deaths_->add();
+  }
+  if (t.state == TargetState::kSuspect && next == TargetState::kHealthy &&
+      m_false_alarms_ != nullptr) {
+    m_false_alarms_->add();
+  }
+  t.state = next;
+  ++transitions_;
+  (void)node;
+}
+
+void HealthMonitor::note_ok(fabric::NodeId node) {
+  auto it = targets_.find(node);
+  if (it == targets_.end()) return;
+  Target& t = it->second;
+  t.misses = 0;
+  switch (t.state) {
+    case TargetState::kHealthy:
+      break;
+    case TargetState::kSuspect:
+      transition(node, t, TargetState::kHealthy);
+      break;
+    case TargetState::kDead:
+      // Back from the dead: route-able again only once healing finishes.
+      transition(node, t, TargetState::kHealing);
+      break;
+    case TargetState::kHealing:
+      break;
+  }
+}
+
+void HealthMonitor::note_miss(fabric::NodeId node) {
+  auto it = targets_.find(node);
+  if (it == targets_.end()) return;
+  Target& t = it->second;
+  if (t.state == TargetState::kDead) return;
+  if (t.state == TargetState::kHealing) {
+    // Relapsed during healing: straight back to dead, no fresh hysteresis
+    // — we already know this target is flaky.
+    transition(node, t, TargetState::kDead);
+    return;
+  }
+  ++t.misses;
+  if (t.misses >= params_.dead_after_misses) {
+    transition(node, t, TargetState::kDead);
+  } else if (t.state == TargetState::kHealthy) {
+    transition(node, t, TargetState::kSuspect);
+  }
+}
+
+void HealthMonitor::note_exhausted(fabric::NodeId node) {
+  auto it = targets_.find(node);
+  if (it == targets_.end()) return;
+  Target& t = it->second;
+  if (t.state == TargetState::kDead) return;
+  t.misses = params_.dead_after_misses;
+  transition(node, t, TargetState::kDead);
+}
+
+void HealthMonitor::note_healed(fabric::NodeId node) {
+  auto it = targets_.find(node);
+  if (it == targets_.end()) return;
+  Target& t = it->second;
+  if (t.state != TargetState::kHealing) return;
+  t.misses = 0;
+  transition(node, t, TargetState::kHealthy);
+}
+
+TargetState HealthMonitor::state(fabric::NodeId node) const {
+  auto it = targets_.find(node);
+  return it == targets_.end() ? TargetState::kHealthy : it->second.state;
+}
+
+SimTime HealthMonitor::dead_since(fabric::NodeId node) const {
+  auto it = targets_.find(node);
+  return it == targets_.end() ? 0 : it->second.dead_since;
+}
+
+std::vector<fabric::RackId> HealthMonitor::dead_domains() const {
+  std::vector<fabric::RackId> out;
+  for (const auto& [node, t] : targets_) {
+    if (t.state != TargetState::kDead) continue;
+    const fabric::RackId d = topology_.failure_domain(node);
+    if (std::find(out.begin(), out.end(), d) == out.end()) out.push_back(d);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<fabric::NodeId> HealthMonitor::nodes_in_state(
+    TargetState s) const {
+  std::vector<fabric::NodeId> out;
+  for (const auto& [node, t] : targets_) {
+    if (t.state == s) out.push_back(node);
+  }
+  return out;
+}
+
+void HealthMonitor::set_observer(const obs::Observer& o) {
+  obs_ = o;
+  if (obs_.metrics != nullptr) {
+    m_deaths_ = obs_.metrics->counter("resilience.deaths");
+    m_false_alarms_ = obs_.metrics->counter("resilience.false_alarms");
+  } else {
+    m_deaths_ = nullptr;
+    m_false_alarms_ = nullptr;
+  }
+}
+
+sim::Task<void> HealthMonitor::heartbeat(
+    std::function<bool(fabric::NodeId, SimTime)> alive_probe, SimTime until) {
+  while (engine_.now() + params_.heartbeat_period <= until) {
+    co_await engine_.delay(params_.heartbeat_period);
+    // std::map iteration: probes fire in node order, deterministically.
+    for (auto& [node, t] : targets_) {
+      (void)t;
+      if (alive_probe(node, engine_.now())) {
+        note_ok(node);
+      } else {
+        note_miss(node);
+      }
+    }
+  }
+}
+
+}  // namespace nvmecr::resilience

@@ -1,0 +1,132 @@
+// Failure detection for the NVMe-oF data path (DESIGN.md §13).
+//
+// One HealthMonitor per job tracks the liveness of every storage target
+// the job writes to, fed from two sides:
+//
+//   * data plane — the retrying device wrapper (retry.h) reports each IO
+//     outcome: a completed IO (however slow) is proof of life, a
+//     transport timeout is one miss;
+//   * management plane — a lightweight sim-time heartbeat probes every
+//     tracked target each period and reports the same way.
+//
+// Hysteresis: a target is only declared dead after `dead_after_misses`
+// CONSECUTIVE misses (or an explicit retry-budget exhaustion from the
+// data plane). A single slow IO — a straggler SSD at 10x latency still
+// completes — therefore never trips the detector; the false-positive
+// tests pin this behavior.
+//
+// State machine (ISSUE 5 / DESIGN.md §13):
+//
+//   healthy --miss--> suspect --misses >= dead_after--> dead
+//      ^                 |ok                              |probe ok
+//      |                 v                                v
+//      +-------------- healthy <----heal complete---- healing
+//
+// A probe success on a dead target moves it to `healing` (the node is
+// back, but data written elsewhere during the outage is still degraded);
+// the healer (failover.cc) re-replicates that data and then reports
+// note_healed(), closing the loop. Everything is deterministic: state
+// lives in a std::map (sorted iteration) and transitions depend only on
+// the DES event order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/units.h"
+#include "fabric/topology.h"
+#include "obs/observer.h"
+#include "simcore/engine.h"
+
+namespace nvmecr::resilience {
+
+enum class TargetState { kHealthy, kSuspect, kDead, kHealing };
+
+const char* target_state_name(TargetState s);
+
+struct HealthParams {
+  /// Consecutive misses (IO timeouts or heartbeat probe failures) before
+  /// a suspect target is declared dead. 1 would defeat the hysteresis.
+  uint32_t dead_after_misses = 3;
+  /// Heartbeat probe period (sim time).
+  SimDuration heartbeat_period = 250'000;  // 250 us
+};
+
+class HealthMonitor {
+ public:
+  HealthMonitor(sim::Engine& engine, const fabric::Topology& topology,
+                HealthParams params = {})
+      : engine_(engine), topology_(topology), params_(params) {}
+
+  const HealthParams& params() const { return params_; }
+
+  /// Registers a storage node for tracking (idempotent).
+  void track(fabric::NodeId node);
+  bool tracked(fabric::NodeId node) const {
+    return targets_.find(node) != targets_.end();
+  }
+
+  /// Data/management plane reports. note_ok on a dead target means the
+  /// node answered a probe again: it moves to kHealing, not kHealthy —
+  /// data lost to the outage is still degraded until the healer is done.
+  void note_ok(fabric::NodeId node);
+  void note_miss(fabric::NodeId node);
+  /// Data plane escalation: the retry budget for one IO was exhausted on
+  /// retryable errors — the target is dead regardless of the miss count.
+  void note_exhausted(fabric::NodeId node);
+  /// Healer report: all degraded data for `node` is re-replicated.
+  void note_healed(fabric::NodeId node);
+
+  TargetState state(fabric::NodeId node) const;
+  bool dead(fabric::NodeId node) const {
+    return state(node) == TargetState::kDead;
+  }
+  /// Sim time the target was declared dead (0 = never died).
+  SimTime dead_since(fabric::NodeId node) const;
+
+  /// Failure domains containing at least one currently-dead target,
+  /// sorted ascending — the exclude_domains input for failover placement.
+  std::vector<fabric::RackId> dead_domains() const;
+
+  /// Tracked nodes currently in `s`, sorted ascending (the healer scans
+  /// this for kHealing targets).
+  std::vector<fabric::NodeId> nodes_in_state(TargetState s) const;
+
+  /// Total state transitions (a cheap determinism fingerprint).
+  uint64_t transitions() const { return transitions_; }
+
+  /// Caches metric instruments ("resilience.*"). Pass {} to detach.
+  void set_observer(const obs::Observer& o);
+
+  /// Bounded heartbeat daemon: every heartbeat_period until sim-time
+  /// `until`, probes each tracked target with `alive_probe(node, now)`
+  /// and feeds the result in as note_ok / note_miss. Bounded so that the
+  /// engine still reaches quiescence (Engine::run() runs until no events
+  /// remain — a free-running periodic task would never let it return).
+  sim::Task<void> heartbeat(
+      std::function<bool(fabric::NodeId, SimTime)> alive_probe,
+      SimTime until);
+
+ private:
+  struct Target {
+    TargetState state = TargetState::kHealthy;
+    uint32_t misses = 0;
+    SimTime dead_since = 0;
+  };
+
+  void transition(fabric::NodeId node, Target& t, TargetState next);
+
+  sim::Engine& engine_;
+  const fabric::Topology& topology_;
+  HealthParams params_;
+  std::map<fabric::NodeId, Target> targets_;  // sorted: deterministic scans
+  uint64_t transitions_ = 0;
+
+  obs::Counter* m_deaths_ = nullptr;
+  obs::Counter* m_false_alarms_ = nullptr;  // suspect -> healthy recoveries
+  obs::Observer obs_;
+};
+
+}  // namespace nvmecr::resilience

@@ -1,0 +1,151 @@
+#include "resilience/retry.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace nvmecr::resilience {
+
+RetryDevice::RetryDevice(sim::Engine& engine,
+                         std::unique_ptr<hw::BlockDevice> inner,
+                         HealthMonitor& monitor, fabric::NodeId storage_node,
+                         RetryPolicy policy, uint64_t jitter_seed)
+    : engine_(engine),
+      inner_(std::move(inner)),
+      monitor_(monitor),
+      node_(storage_node),
+      policy_(policy),
+      rng_(jitter_seed) {
+  monitor_.track(node_);
+}
+
+void RetryDevice::set_observer(const obs::Observer& o) {
+  m_retries_ =
+      o.metrics != nullptr ? o.metrics->counter("resilience.retries") : nullptr;
+}
+
+SimDuration RetryDevice::backoff_for(uint32_t attempt) {
+  double b = static_cast<double>(policy_.base_backoff);
+  for (uint32_t i = 1; i < attempt; ++i) b *= policy_.multiplier;
+  b = std::min(b, static_cast<double>(policy_.max_backoff));
+  b *= rng_.jitter(policy_.jitter);
+  return static_cast<SimDuration>(b);
+}
+
+sim::Task<Status> RetryDevice::with_retries(
+    std::function<sim::Task<Status>()> op) {
+  const SimTime deadline = engine_.now() + policy_.op_deadline;
+  for (uint32_t attempt = 1;; ++attempt) {
+    if (monitor_.dead(node_)) {
+      // Already declared dead (by us on an earlier op, the heartbeat, or
+      // a sibling rank): don't burn the IO timeout again — fail fast so
+      // the failover layer pivots immediately.
+      co_return UnreachableError("target node " + std::to_string(node_) +
+                                 " is dead (failing fast)");
+    }
+    Status s = co_await op();
+    if (s.ok()) {
+      monitor_.note_ok(node_);
+      co_return s;
+    }
+    if (!is_retryable(s.code())) co_return s;  // fatal: surface immediately
+    monitor_.note_miss(node_);
+    const bool attempts_left = attempt < policy_.max_attempts;
+    const SimDuration backoff = backoff_for(attempt);
+    const bool deadline_left = engine_.now() + backoff < deadline;
+    if (!attempts_left || !deadline_left || monitor_.dead(node_)) {
+      monitor_.note_exhausted(node_);
+      co_return s;
+    }
+    ++retries_;
+    if (m_retries_ != nullptr) m_retries_->add();
+    co_await engine_.delay(backoff);
+  }
+}
+
+sim::Task<Status> RetryDevice::write(uint64_t offset,
+                                     std::span<const std::byte> data) {
+  co_return co_await with_retries(
+      [this, offset, data]() { return inner_->write(offset, data); });
+}
+
+sim::Task<Status> RetryDevice::read(uint64_t offset, std::span<std::byte> out) {
+  co_return co_await with_retries(
+      [this, offset, out]() { return inner_->read(offset, out); });
+}
+
+sim::Task<Status> RetryDevice::write_tagged(uint64_t offset, uint64_t len,
+                                            uint64_t seed) {
+  co_return co_await with_retries([this, offset, len, seed]() {
+    return inner_->write_tagged(offset, len, seed);
+  });
+}
+
+sim::Task<Status> RetryDevice::read_tagged_into(uint64_t offset, uint64_t len,
+                                                uint64_t* out) {
+  StatusOr<uint64_t> r = co_await inner_->read_tagged(offset, len);
+  if (r.ok()) *out = r.value();
+  co_return r.status();
+}
+
+sim::Task<Status> RetryDevice::read_tagged_batch_into(uint64_t offset,
+                                                      uint64_t len,
+                                                      uint32_t subcmds,
+                                                      uint64_t* out) {
+  StatusOr<uint64_t> r = co_await inner_->read_tagged_batch(offset, len, subcmds);
+  if (r.ok()) *out = r.value();
+  co_return r.status();
+}
+
+sim::Task<StatusOr<uint64_t>> RetryDevice::read_tagged(uint64_t offset,
+                                                       uint64_t len) {
+  uint64_t tag = 0;
+  Status s = co_await with_retries([this, offset, len, &tag]() {
+    return read_tagged_into(offset, len, &tag);
+  });
+  if (!s.ok()) co_return StatusOr<uint64_t>(s);
+  co_return tag;
+}
+
+sim::Task<Status> RetryDevice::flush() {
+  co_return co_await with_retries([this]() { return inner_->flush(); });
+}
+
+sim::Task<Status> RetryDevice::write_tagged_batch(uint64_t offset, uint64_t len,
+                                                  uint64_t seed,
+                                                  uint32_t subcmds) {
+  co_return co_await with_retries([this, offset, len, seed, subcmds]() {
+    return inner_->write_tagged_batch(offset, len, seed, subcmds);
+  });
+}
+
+sim::Task<StatusOr<uint64_t>> RetryDevice::read_tagged_batch(uint64_t offset,
+                                                             uint64_t len,
+                                                             uint32_t subcmds) {
+  uint64_t tag = 0;
+  Status s = co_await with_retries([this, offset, len, subcmds, &tag]() {
+    return read_tagged_batch_into(offset, len, subcmds, &tag);
+  });
+  if (!s.ok()) co_return StatusOr<uint64_t>(s);
+  co_return tag;
+}
+
+std::function<std::unique_ptr<hw::BlockDevice>(
+    std::unique_ptr<hw::BlockDevice>, fabric::NodeId, uint32_t)>
+make_retry_wrapper(sim::Engine& engine, HealthMonitor& monitor,
+                   RetryPolicy policy, uint64_t seed, obs::Observer observer) {
+  return [&engine, &monitor, policy, seed, observer](
+             std::unique_ptr<hw::BlockDevice> dev, fabric::NodeId node,
+             uint32_t rank) -> std::unique_ptr<hw::BlockDevice> {
+    // Per-device stream keyed by (seed, node, rank): jitter draws of one
+    // device never shift another's regardless of connect order.
+    const uint64_t dev_seed =
+        mix64(seed ^ mix64((static_cast<uint64_t>(node) << 32) | rank));
+    auto wrapped = std::make_unique<RetryDevice>(
+        engine, std::move(dev), monitor, node, policy, dev_seed);
+    wrapped->set_observer(observer);
+    return wrapped;
+  };
+}
+
+}  // namespace nvmecr::resilience

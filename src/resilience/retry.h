@@ -1,0 +1,118 @@
+// Retry with exponential backoff for the remote data path (DESIGN.md §13).
+//
+// RetryDevice wraps the per-rank NVMf qpair BlockDevice (installed via
+// RuntimeConfig::device_wrapper) and retries RETRYABLE errors — transport
+// timeouts, unreachable targets, typed-unavailable — with exponential
+// backoff plus deterministic seeded jitter, under a per-operation
+// deadline. Fatal errors (corruption, invalid argument, plain IO errors
+// from fail_device-style injection) pass through on the first attempt:
+// retrying those would only mask bugs.
+//
+// Every outcome feeds the HealthMonitor: success is proof of life
+// (note_ok), a retryable failure is one miss (note_miss), and an
+// exhausted retry budget escalates to note_exhausted — declaring the
+// target dead so the failover layer (failover.h) can re-place the rank's
+// extents in a partner domain instead of burning the checkpoint deadline
+// on a corpse. Once the monitor says the target is dead, RetryDevice
+// fails fast without sleeping: the first IO pays the detection cost, the
+// rest of the checkpoint pivots immediately.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "hw/block_device.h"
+#include "obs/observer.h"
+#include "resilience/health.h"
+#include "simcore/engine.h"
+
+namespace nvmecr::resilience {
+
+struct RetryPolicy {
+  /// Total attempts per operation (first try + retries).
+  uint32_t max_attempts = 4;
+  /// Backoff before retry k (1-based): base * multiplier^(k-1), capped at
+  /// max_backoff, then jittered by +/- jitter fraction.
+  SimDuration base_backoff = 50'000;  // 50 us
+  double multiplier = 2.0;
+  SimDuration max_backoff = 1'000'000;  // 1 ms
+  double jitter = 0.25;
+  /// Per-operation deadline: once an operation has spent this much sim
+  /// time across attempts and backoffs, the budget is exhausted even if
+  /// attempts remain. Keeps worst-case stall bounded against the
+  /// checkpoint interval.
+  SimDuration op_deadline = 10'000'000;  // 10 ms
+};
+
+/// BlockDevice decorator: retry/backoff + health reporting.
+class RetryDevice final : public hw::BlockDevice {
+ public:
+  RetryDevice(sim::Engine& engine, std::unique_ptr<hw::BlockDevice> inner,
+              HealthMonitor& monitor, fabric::NodeId storage_node,
+              RetryPolicy policy, uint64_t jitter_seed);
+
+  uint64_t capacity() const override { return inner_->capacity(); }
+  uint32_t hw_block_size() const override { return inner_->hw_block_size(); }
+  uint64_t tag_origin() const override { return inner_->tag_origin(); }
+
+  sim::Task<Status> write(uint64_t offset,
+                          std::span<const std::byte> data) override;
+  sim::Task<Status> read(uint64_t offset, std::span<std::byte> out) override;
+  sim::Task<Status> write_tagged(uint64_t offset, uint64_t len,
+                                 uint64_t seed) override;
+  sim::Task<StatusOr<uint64_t>> read_tagged(uint64_t offset,
+                                            uint64_t len) override;
+  sim::Task<Status> flush() override;
+  sim::Task<Status> write_tagged_batch(uint64_t offset, uint64_t len,
+                                       uint64_t seed,
+                                       uint32_t subcmds) override;
+  sim::Task<StatusOr<uint64_t>> read_tagged_batch(uint64_t offset,
+                                                  uint64_t len,
+                                                  uint32_t subcmds) override;
+
+  fabric::NodeId storage_node() const { return node_; }
+  uint64_t retries() const { return retries_; }
+
+  void set_observer(const obs::Observer& o);
+
+ private:
+  /// Backoff before retry `attempt` (1-based retry index), jittered.
+  SimDuration backoff_for(uint32_t attempt);
+
+  /// Retry driver shared by all ops. `op` is re-invoked per attempt and
+  /// must be safe to repeat (all our ops are idempotent writes/reads at
+  /// fixed offsets).
+  sim::Task<Status> with_retries(std::function<sim::Task<Status>()> op);
+
+  /// StatusOr adapters: thread the value out through `out` so the
+  /// Status-typed retry driver can be shared.
+  sim::Task<Status> read_tagged_into(uint64_t offset, uint64_t len,
+                                     uint64_t* out);
+  sim::Task<Status> read_tagged_batch_into(uint64_t offset, uint64_t len,
+                                           uint32_t subcmds, uint64_t* out);
+
+  sim::Engine& engine_;
+  std::unique_ptr<hw::BlockDevice> inner_;
+  HealthMonitor& monitor_;
+  fabric::NodeId node_;
+  RetryPolicy policy_;
+  Rng rng_;
+  uint64_t retries_ = 0;
+  obs::Counter* m_retries_ = nullptr;
+};
+
+/// Factory for RuntimeConfig::device_wrapper: wraps every remote qpair
+/// device of a job in a RetryDevice reporting into `monitor`. Tracks each
+/// storage node on first sight. Seeds the per-device jitter stream from
+/// (seed, node, rank) so runs are reproducible regardless of connect
+/// order.
+std::function<std::unique_ptr<hw::BlockDevice>(
+    std::unique_ptr<hw::BlockDevice>, fabric::NodeId, uint32_t)>
+make_retry_wrapper(sim::Engine& engine, HealthMonitor& monitor,
+                   RetryPolicy policy, uint64_t seed,
+                   obs::Observer observer = {});
+
+}  // namespace nvmecr::resilience

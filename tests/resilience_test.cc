@@ -1,0 +1,607 @@
+// Resilience layer tests (DESIGN.md §13): typed retryable errors and the
+// shim errno mapping, link-fault windows on the fabric, detection
+// hysteresis (a 10x straggler must NOT be declared dead; a crashed
+// target MUST be, deterministically), balancer domain exclusion with
+// typed exhaustion, mid-checkpoint failover to a partner-domain spare,
+// background healing back to full redundancy, and the 2-of-8 fault-storm
+// acceptance run with bit-identical metrics across two runs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nvmecr/posix_shim.h"
+#include "nvmecr/runtime.h"
+#include "obs/metrics.h"
+#include "redundancy/engine.h"
+#include "resilience/failover.h"
+#include "resilience/health.h"
+#include "resilience/retry.h"
+#include "workloads/comd.h"
+
+namespace nvmecr {
+namespace {
+
+using namespace nvmecr::literals;
+using nvmecr_rt::Cluster;
+using nvmecr_rt::ClusterSpec;
+using nvmecr_rt::JobAllocation;
+using nvmecr_rt::RuntimeConfig;
+using nvmecr_rt::Scheduler;
+using resilience::HealthMonitor;
+using resilience::HealthParams;
+using resilience::ResilienceOptions;
+using resilience::ResilientSystem;
+using resilience::RetryPolicy;
+using resilience::TargetState;
+
+ClusterSpec make_spec(uint32_t storage_nodes, uint32_t storage_racks,
+                      uint32_t compute_nodes = 4) {
+  ClusterSpec spec;
+  spec.compute_nodes = compute_nodes;
+  spec.storage_nodes = storage_nodes;
+  spec.storage_racks = storage_racks;
+  return spec;
+}
+
+sim::Task<Status> write_file(baselines::StorageClient& c,
+                             const std::string& path, uint64_t bytes,
+                             uint64_t chunk = 1_MiB) {
+  auto fd = co_await c.create(path);
+  NVMECR_CO_RETURN_IF_ERROR(fd.status());
+  uint64_t off = 0;
+  while (off < bytes) {
+    const uint64_t n = std::min<uint64_t>(chunk, bytes - off);
+    NVMECR_CO_RETURN_IF_ERROR(co_await c.write(*fd, n));
+    off += n;
+  }
+  NVMECR_CO_RETURN_IF_ERROR(co_await c.fsync(*fd));
+  co_return co_await c.close(*fd);
+}
+
+sim::Task<Status> read_file(baselines::StorageClient& c,
+                            const std::string& path, uint64_t bytes,
+                            uint64_t chunk = 1_MiB) {
+  auto fd = co_await c.open_read(path);
+  NVMECR_CO_RETURN_IF_ERROR(fd.status());
+  uint64_t off = 0;
+  while (off < bytes) {
+    const uint64_t n = std::min<uint64_t>(chunk, bytes - off);
+    NVMECR_CO_RETURN_IF_ERROR(co_await c.read(*fd, n));
+    off += n;
+  }
+  co_return co_await c.close(*fd);
+}
+
+// ---------------------------------------------------------------------------
+// Typed errors + shim errno mapping (satellite a)
+
+TEST(ResilienceStatusTest, RetryableTaxonomyAndErrnos) {
+  EXPECT_TRUE(is_retryable(ErrorCode::kTimedOut));
+  EXPECT_TRUE(is_retryable(ErrorCode::kUnreachable));
+  EXPECT_TRUE(is_retryable(ErrorCode::kUnavailable));
+  EXPECT_FALSE(is_retryable(ErrorCode::kIoError));
+  EXPECT_FALSE(is_retryable(ErrorCode::kCorruption));
+  EXPECT_FALSE(is_retryable(ErrorCode::kInvalidArgument));
+
+  // The POSIX shim surfaces the new codes as the right errnos.
+  EXPECT_EQ(nvmecr_rt::to_errno(TimedOutError("x")),
+            nvmecr_rt::ShimErrno::kTimedOut);
+  EXPECT_EQ(nvmecr_rt::to_errno(UnreachableError("x")),
+            nvmecr_rt::ShimErrno::kHostUnreach);
+  EXPECT_EQ(static_cast<int>(nvmecr_rt::ShimErrno::kTimedOut), 110);
+  EXPECT_EQ(static_cast<int>(nvmecr_rt::ShimErrno::kHostUnreach), 113);
+}
+
+// ---------------------------------------------------------------------------
+// Fabric link-fault windows
+
+TEST(NetworkFaultTest, LinkDownWindowTimesOutThenRecovers) {
+  Cluster cluster(make_spec(2, 1));
+  fabric::Network& net = cluster.network();
+  const fabric::NodeId a = cluster.compute_nodes()[0];
+  const fabric::NodeId b = cluster.storage_nodes()[0];
+
+  net.add_link_down(b, /*from=*/0, /*until=*/1 * kMillisecond);
+  EXPECT_FALSE(net.link_up(b, 0));
+  EXPECT_FALSE(net.link_up(b, 999'999));
+  EXPECT_TRUE(net.link_up(b, 1 * kMillisecond));
+
+  cluster.engine().run_task([](Cluster& c, fabric::Network& n,
+                               fabric::NodeId src,
+                               fabric::NodeId dst) -> sim::Task<void> {
+    // During the window the transfer burns the transport timeout and
+    // fails typed-retryable.
+    Status s = co_await n.try_transfer(src, dst, 1_MiB);
+    EXPECT_EQ(s.code(), ErrorCode::kTimedOut);
+    EXPECT_EQ(c.engine().now(), n.params().transport_timeout);
+    // After the window it goes through.
+    co_await c.engine().sleep_until(1 * kMillisecond);
+    s = co_await n.try_transfer(src, dst, 1_MiB);
+    EXPECT_TRUE(s.ok()) << s.to_string();
+  }(cluster, net, a, b));
+}
+
+// ---------------------------------------------------------------------------
+// Detection hysteresis (satellite c)
+
+// A straggling SSD at 10x service time still completes every IO: the
+// monitor must never declare it suspect or dead, and the workload
+// finishes (slowly) on the primary with zero failovers.
+TEST(HysteresisTest, TenXStragglerIsNotFailedOver) {
+  Cluster cluster(make_spec(4, 4));
+  Scheduler sched(cluster);
+  auto job = sched.allocate(1, 1, 64_MiB, 1);
+  ASSERT_TRUE(job.ok());
+
+  HealthMonitor monitor(cluster.engine(), cluster.topology());
+  RuntimeConfig config;
+  config.device_wrapper = resilience::make_retry_wrapper(
+      cluster.engine(), monitor, RetryPolicy{}, /*seed=*/42);
+  nvmecr_rt::NvmecrSystem primary(cluster, *job, config);
+  ResilientSystem sys(cluster, sched, primary, monitor, *job, config);
+
+  const fabric::NodeId node = sys.primary_node_of(0);
+  cluster.storage_ssd(cluster.storage_ssd_index(node))
+      .set_straggler(10.0, /*from=*/0, /*until=*/SimTime(1) << 60);
+
+  cluster.engine().run_task(
+      [](ResilientSystem& s, HealthMonitor& m,
+         fabric::NodeId n) -> sim::Task<void> {
+        auto c = co_await s.connect(0);
+        NVMECR_CHECK(c.ok());
+        EXPECT_TRUE((co_await write_file(**c, "/slow", 8_MiB)).ok());
+        EXPECT_EQ(m.state(n), TargetState::kHealthy);
+        EXPECT_TRUE((co_await read_file(**c, "/slow", 8_MiB)).ok());
+      }(sys, monitor, node));
+
+  EXPECT_EQ(monitor.state(node), TargetState::kHealthy);
+  EXPECT_EQ(monitor.dead_since(node), 0);
+  EXPECT_EQ(sys.failovers(), 0u);
+}
+
+// A crashed target must be declared dead within the detection window:
+// max_attempts IO timeouts plus the backoffs between them. The declared
+// time is deterministic — two identical runs agree exactly.
+TEST(HysteresisTest, CrashedTargetDeclaredDeadDeterministically) {
+  auto run_once = [](SimTime crash_at) -> std::pair<SimTime, uint64_t> {
+    Cluster cluster(make_spec(4, 4));
+    Scheduler sched(cluster);
+    auto job = sched.allocate(1, 1, 64_MiB, 1);
+    NVMECR_CHECK(job.ok());
+
+    HealthMonitor monitor(cluster.engine(), cluster.topology());
+    RetryPolicy policy;
+    RuntimeConfig config;
+    config.device_wrapper = resilience::make_retry_wrapper(
+        cluster.engine(), monitor, policy, /*seed=*/42);
+    nvmecr_rt::NvmecrSystem primary(cluster, *job, config);
+    ResilientSystem sys(cluster, sched, primary, monitor, *job, config);
+
+    const fabric::NodeId node = sys.primary_node_of(0);
+    hw::NvmeSsd& ssd = cluster.storage_ssd(cluster.storage_ssd_index(node));
+    ssd.schedule_crash(crash_at);
+
+    cluster.engine().run_task(
+        [](Cluster& c, ResilientSystem& s,
+           SimTime at) -> sim::Task<void> {
+          auto conn = co_await s.connect(0);
+          NVMECR_CHECK(conn.ok());
+          auto client = std::move(*conn);
+          co_await c.engine().sleep_until(at);
+          // The checkpoint stream keeps flowing; the resilience layer
+          // absorbs the death (detection + failover to a spare).
+          EXPECT_TRUE((co_await write_file(*client, "/ckpt", 4_MiB)).ok());
+        }(cluster, sys, crash_at));
+
+    NVMECR_CHECK(monitor.dead_since(node) != 0);
+    return {monitor.dead_since(node), sys.failovers()};
+  };
+
+  const SimTime crash_at = 2 * kMillisecond;
+  auto [dead1, failovers1] = run_once(crash_at);
+  auto [dead2, failovers2] = run_once(crash_at);
+
+  // Deterministic: identical runs declare death at the identical tick.
+  EXPECT_EQ(dead1, dead2);
+  EXPECT_EQ(failovers1, failovers2);
+  EXPECT_GE(failovers1, 1u);
+
+  // Within the detection window: the first IO lands at the crash point,
+  // then at most max_attempts timeouts + max backoffs (with jitter).
+  RetryPolicy policy;
+  const SimDuration io_timeout = 500'000;  // hw::NvmeSsd default
+  const SimTime window =
+      policy.max_attempts *
+      (io_timeout +
+       static_cast<SimDuration>(static_cast<double>(policy.max_backoff) *
+                                (1.0 + policy.jitter)));
+  EXPECT_GE(dead1, crash_at);
+  EXPECT_LE(dead1, crash_at + window);
+}
+
+// Heartbeat-based detection: misses accrue hysteresis, recovery flips
+// the state machine through healing, a mid-heal relapse goes straight
+// back to dead.
+TEST(HysteresisTest, HeartbeatStateMachine) {
+  Cluster cluster(make_spec(2, 2));
+  HealthMonitor monitor(cluster.engine(), cluster.topology(),
+                        HealthParams{.dead_after_misses = 3,
+                                     .heartbeat_period = 100'000});
+  const fabric::NodeId node = cluster.storage_nodes()[0];
+  monitor.track(node);
+
+  nvmf::NvmfTarget& target = cluster.target(0);
+  target.schedule_crash(/*at=*/150'000, /*recover_at=*/650'000);
+
+  cluster.engine().spawn(monitor.heartbeat(
+      [&](fabric::NodeId n, SimTime t) {
+        return cluster.target(cluster.storage_ssd_index(n)).alive(t);
+      },
+      /*until=*/1 * kMillisecond));
+  cluster.engine().run();
+
+  // Probes at 100us (ok), 200/300/400us (miss -> suspect -> dead at the
+  // third), 700us+ (ok -> healing). Healing only completes via
+  // note_healed, which nothing issued here.
+  EXPECT_EQ(monitor.state(node), TargetState::kHealing);
+  EXPECT_EQ(monitor.dead_since(node), 400'000);
+
+  monitor.note_healed(node);
+  EXPECT_EQ(monitor.state(node), TargetState::kHealthy);
+
+  // Relapse during healing: no fresh hysteresis.
+  monitor.note_miss(node);
+  monitor.note_miss(node);
+  monitor.note_miss(node);
+  EXPECT_EQ(monitor.state(node), TargetState::kDead);
+  monitor.note_ok(node);
+  EXPECT_EQ(monitor.state(node), TargetState::kHealing);
+  monitor.note_miss(node);
+  EXPECT_EQ(monitor.state(node), TargetState::kDead);
+}
+
+// ---------------------------------------------------------------------------
+// Balancer domain exclusion (satellite b)
+
+TEST(BalancerExcludeTest, ValidatesAndExhaustsTyped) {
+  Cluster cluster(make_spec(4, 2));
+  const fabric::Topology& topo = cluster.topology();
+
+  nvmecr_rt::BalancerRequest req;
+  req.rank_nodes = {cluster.compute_nodes()[0]};
+  req.storage_nodes = cluster.storage_nodes();
+  req.num_ssds = 1;
+  req.min_procs_per_ssd = 1;
+
+  // Out-of-range excluded domain is an input error.
+  req.exclude_domains = {topo.rack_count() + 7};
+  auto r = nvmecr_rt::StorageBalancer::assign(topo, req);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kInvalidArgument);
+
+  // Excluding one storage rack leaves the other.
+  const fabric::RackId d0 = topo.failure_domain(cluster.storage_nodes()[0]);
+  req.exclude_domains = {d0};
+  r = nvmecr_rt::StorageBalancer::assign(topo, req);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  for (fabric::NodeId n : r->ssd_nodes) {
+    EXPECT_NE(topo.failure_domain(n), d0);
+  }
+
+  // Excluding every storage domain is a TYPED exhaustion — kUnavailable,
+  // returned immediately, never a loop.
+  std::vector<fabric::RackId> all;
+  for (fabric::NodeId n : cluster.storage_nodes()) {
+    all.push_back(topo.failure_domain(n));
+  }
+  req.exclude_domains = all;
+  r = nvmecr_rt::StorageBalancer::assign(topo, req);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kUnavailable);
+}
+
+// Partner domain also dead at failover time: ensure_spare surfaces the
+// typed exhaustion to the IO instead of hanging or spinning.
+TEST(BalancerExcludeTest, PartnerDomainAlsoDeadSurfacesExhaustion) {
+  // Two storage racks only: primary in one, the sole partner in the
+  // other. Killing both leaves no eligible spare domain.
+  Cluster cluster(make_spec(2, 2));
+  Scheduler sched(cluster);
+  auto job = sched.allocate(1, 1, 64_MiB, 1);
+  ASSERT_TRUE(job.ok());
+
+  HealthMonitor monitor(cluster.engine(), cluster.topology());
+  RuntimeConfig config;
+  config.device_wrapper = resilience::make_retry_wrapper(
+      cluster.engine(), monitor, RetryPolicy{}, /*seed=*/42);
+  nvmecr_rt::NvmecrSystem primary(cluster, *job, config);
+  ResilientSystem sys(cluster, sched, primary, monitor, *job, config);
+
+  // Connect while healthy, then kill every storage domain: primary AND
+  // its only partner. The write must fail typed, not hang.
+  Status result = cluster.engine().run_task(
+      [](Cluster& cl, ResilientSystem& s,
+         HealthMonitor& m) -> sim::Task<Status> {
+        auto c = co_await s.connect(0);
+        NVMECR_CO_RETURN_IF_ERROR(c.status());
+        for (fabric::NodeId n : cl.storage_nodes()) {
+          m.track(n);
+          cl.storage_ssd(cl.storage_ssd_index(n))
+              .schedule_crash(cl.engine().now());
+          m.note_exhausted(n);
+        }
+        NVMECR_CHECK(m.dead_domains().size() == 2);
+        co_return co_await write_file(**c, "/doomed", 1_MiB);
+      }(cluster, sys, monitor));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), ErrorCode::kUnavailable)
+      << result.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Mid-checkpoint failover + healing (tentpole)
+
+TEST(FailoverTest, MidCheckpointPivotThenHealRestoresPrimary) {
+  Cluster cluster(make_spec(4, 4));
+  obs::MetricsRegistry metrics;
+  cluster.install_observer({nullptr, &metrics});
+  Scheduler sched(cluster);
+  auto job = sched.allocate(1, 1, 64_MiB, 1);
+  ASSERT_TRUE(job.ok());
+
+  HealthMonitor monitor(cluster.engine(), cluster.topology());
+  monitor.set_observer(cluster.observer());
+  RuntimeConfig config;
+  config.device_wrapper = resilience::make_retry_wrapper(
+      cluster.engine(), monitor, RetryPolicy{}, /*seed=*/42,
+      cluster.observer());
+  nvmecr_rt::NvmecrSystem primary(cluster, *job, config);
+  ResilientSystem sys(cluster, sched, primary, monitor, *job, config);
+  sys.set_observer(cluster.observer());
+
+  const fabric::NodeId node = sys.primary_node_of(0);
+  hw::NvmeSsd& ssd = cluster.storage_ssd(cluster.storage_ssd_index(node));
+  const SimTime recover_at = 80 * kMillisecond;
+
+  // Heartbeat (probes the device) + healer, both bounded.
+  cluster.engine().spawn(monitor.heartbeat(
+      [&cluster](fabric::NodeId n, SimTime t) {
+        return !cluster.storage_ssd(cluster.storage_ssd_index(n))
+                    .crashed_at(t);
+      },
+      /*until=*/200 * kMillisecond));
+  cluster.engine().spawn(sys.healer(/*until=*/200 * kMillisecond));
+
+  std::unique_ptr<baselines::StorageClient> client;
+  cluster.engine().run_task(
+      [](Cluster& c, ResilientSystem& s, hw::NvmeSsd& dev, SimTime rec,
+         std::unique_ptr<baselines::StorageClient>& out) -> sim::Task<void> {
+        auto conn = co_await s.connect(0);
+        NVMECR_CHECK(conn.ok());
+        out = std::move(*conn);
+        baselines::StorageClient& cl = *out;
+        // First two chunks land on the primary...
+        auto fd = co_await cl.create("/mid");
+        NVMECR_CHECK(fd.ok());
+        EXPECT_TRUE((co_await cl.write(*fd, 1_MiB)).ok());
+        EXPECT_TRUE((co_await cl.write(*fd, 1_MiB)).ok());
+        // ...then the device dies mid-checkpoint.
+        dev.schedule_crash(c.engine().now(), rec);
+        EXPECT_TRUE((co_await cl.write(*fd, 1_MiB)).ok());
+        EXPECT_TRUE((co_await cl.write(*fd, 1_MiB)).ok());
+        EXPECT_TRUE((co_await cl.fsync(*fd)).ok());
+        EXPECT_TRUE((co_await cl.close(*fd)).ok());
+        // Degraded restart read works immediately (served by the spare).
+        EXPECT_TRUE((co_await read_file(cl, "/mid", 4_MiB)).ok());
+      }(cluster, sys, ssd, recover_at, client));
+
+  // The checkpoint completed in degraded mode and was then healed: the
+  // engine ran past recover_at (heartbeat flipped the node to healing,
+  // the healer rewrote the file through the primary chain).
+  EXPECT_GE(sys.failovers(), 1u);
+  const resilience::DegradedEntry* e = sys.degraded_entry(0, "/mid");
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->complete);
+  EXPECT_EQ(e->bytes, 4_MiB);
+  EXPECT_EQ(e->state, resilience::DegradedState::kHealed);
+  EXPECT_EQ(sys.healed_bytes(), 4_MiB);
+  EXPECT_EQ(monitor.state(node), TargetState::kHealthy);
+
+  // Nothing is left degraded once the healer finished.
+  EXPECT_TRUE(sys.degraded_ranks().empty());
+
+  // Metrics flowed through the registry.
+  EXPECT_EQ(metrics.find_counter("resilience.failovers")->value(),
+            sys.failovers());
+  EXPECT_EQ(metrics.find_counter("resilience.heal_bytes")->value(), 4_MiB);
+  EXPECT_GE(metrics.find_counter("resilience.deaths")->value(), 1u);
+
+  // After healing, a fresh read is served by the primary chain again.
+  cluster.engine().run_task(
+      [](std::unique_ptr<baselines::StorageClient>& cl) -> sim::Task<void> {
+        EXPECT_TRUE((co_await read_file(*cl, "/mid", 4_MiB)).ok());
+      }(client));
+}
+
+// The failover view plugs into the multi-level restart chain between the
+// fast tier and reconstruction/PFS.
+TEST(FailoverTest, FailoverViewServesDegradedReadsAndRejectsWrites) {
+  Cluster cluster(make_spec(4, 4));
+  Scheduler sched(cluster);
+  auto job = sched.allocate(1, 1, 64_MiB, 1);
+  ASSERT_TRUE(job.ok());
+
+  HealthMonitor monitor(cluster.engine(), cluster.topology());
+  RuntimeConfig config;
+  config.device_wrapper = resilience::make_retry_wrapper(
+      cluster.engine(), monitor, RetryPolicy{}, /*seed=*/42);
+  nvmecr_rt::NvmecrSystem primary(cluster, *job, config);
+  ResilientSystem sys(cluster, sched, primary, monitor, *job, config);
+
+  const fabric::NodeId node = sys.primary_node_of(0);
+
+  std::unique_ptr<baselines::StorageClient> client;
+  auto view = sys.failover_view(0);
+  cluster.engine().run_task(
+      [](Cluster& cl, ResilientSystem& s, fabric::NodeId n,
+         baselines::StorageClient& v,
+         std::unique_ptr<baselines::StorageClient>& out) -> sim::Task<void> {
+        auto conn = co_await s.connect(0);
+        NVMECR_CHECK(conn.ok());
+        out = std::move(*conn);
+        // Target dies before the first byte: straight-to-spare pivot.
+        cl.storage_ssd(cl.storage_ssd_index(n))
+            .schedule_crash(cl.engine().now());
+        s.monitor().note_exhausted(n);
+        EXPECT_TRUE((co_await write_file(*out, "/deg", 2_MiB)).ok());
+        // The view serves the degraded checkpoint read-only.
+        EXPECT_TRUE((co_await read_file(v, "/deg", 2_MiB)).ok());
+        auto miss = co_await v.open_read("/nope");
+        EXPECT_EQ(miss.status().code(), ErrorCode::kNotFound);
+        auto wr = co_await v.create("/x");
+        EXPECT_EQ(wr.status().code(), ErrorCode::kPermission);
+      }(cluster, sys, node, *view, client));
+
+  // Wired into the router, the chain orders fast > failover > pfs.
+  nvmecr_rt::MultiLevelRouter router(*client, *client,
+                                     nvmecr_rt::MultiLevelPolicy(10));
+  EXPECT_FALSE(router.has_failover());
+  router.set_failover(view.get());
+  EXPECT_TRUE(router.has_failover());
+  auto chain = router.recovery_chain();
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[1], view.get());
+}
+
+// ---------------------------------------------------------------------------
+// Fault storm: 2 of 8 targets die mid-checkpoint under a CoMD-style run
+// (acceptance). The run completes, restart reads from the fast tier (no
+// PFS deployed at all), healing restores full redundancy, and the whole
+// failover/metric stream is bit-identical across two runs.
+
+struct StormOutcome {
+  uint64_t failovers = 0;
+  uint64_t retries = 0;
+  uint64_t heal_bytes = 0;
+  uint64_t transitions = 0;
+  uint64_t degraded_ckpts = 0;
+  std::vector<SimTime> dead_since;
+  SimDuration total_time = 0;
+  bool ok = false;
+  bool healed = false;
+};
+
+StormOutcome run_fault_storm(uint32_t kill, SimTime kill_at,
+                             SimTime recover_at) {
+  StormOutcome out;
+  Cluster cluster(make_spec(/*storage_nodes=*/8, /*storage_racks=*/4,
+                            /*compute_nodes=*/8));
+  obs::MetricsRegistry metrics;
+  cluster.install_observer({nullptr, &metrics});
+  Scheduler sched(cluster);
+
+  workloads::ComdParams params;
+  params.nranks = 8;
+  params.procs_per_node = 1;
+  params.atoms_per_rank = 8192;
+  params.bytes_per_atom = 512;  // 4 MiB per rank per checkpoint
+  params.io_chunk = 1_MiB;
+  params.checkpoints = 3;
+  params.compute_per_period = 2 * kMillisecond;
+  params.keep_last = 3;  // keep everything: reads may heal late
+
+  auto job = sched.allocate(params.nranks, params.procs_per_node, 64_MiB,
+                            /*num_ssds=*/8);
+  NVMECR_CHECK(job.ok());
+
+  HealthMonitor monitor(cluster.engine(), cluster.topology());
+  monitor.set_observer(cluster.observer());
+  RuntimeConfig config;
+  config.device_wrapper = resilience::make_retry_wrapper(
+      cluster.engine(), monitor, RetryPolicy{}, /*seed=*/42,
+      cluster.observer());
+  nvmecr_rt::NvmecrSystem primary(cluster, *job, config);
+
+  redundancy::RedundancyOptions ropts;
+  ropts.scheme = redundancy::Scheme::kPartner;
+  auto dep =
+      redundancy::deploy_redundancy(cluster, sched, primary, *job, ropts,
+                                    config);
+  NVMECR_CHECK(dep.ok());
+
+  ResilientSystem sys(cluster, sched, *dep->system, monitor, *job, config);
+  sys.set_observer(cluster.observer());
+
+  // Kill the first `kill` primary targets mid-checkpoint; they come back
+  // later and get healed.
+  std::vector<fabric::NodeId> victims;
+  for (uint32_t i = 0; i < kill; ++i) {
+    const fabric::NodeId n = job->assignment.ssd_nodes[i];
+    victims.push_back(n);
+    cluster.storage_ssd(cluster.storage_ssd_index(n))
+        .schedule_crash(kill_at, recover_at);
+    cluster.target(cluster.storage_ssd_index(n))
+        .schedule_crash(kill_at, recover_at);
+  }
+
+  const SimTime horizon = recover_at + 100 * kMillisecond;
+  cluster.engine().spawn(monitor.heartbeat(
+      [&cluster](fabric::NodeId n, SimTime t) {
+        const uint32_t idx = cluster.storage_ssd_index(n);
+        return cluster.target(idx).alive(t) &&
+               !cluster.storage_ssd(idx).crashed_at(t);
+      },
+      horizon));
+  cluster.engine().spawn(sys.healer(horizon));
+
+  auto r = workloads::ComdDriver::run(cluster, sys, params);
+  out.ok = r.ok();
+  if (!r.ok()) return out;
+
+  out.failovers = sys.failovers();
+  out.heal_bytes = sys.healed_bytes();
+  out.transitions = monitor.transitions();
+  out.total_time = r->total_time;
+  const obs::Counter* retries = metrics.find_counter("resilience.retries");
+  out.retries = retries != nullptr ? retries->value() : 0;
+  const obs::Counter* deg =
+      metrics.find_counter("resilience.degraded_ckpts");
+  out.degraded_ckpts = deg != nullptr ? deg->value() : 0;
+  for (fabric::NodeId n : victims) out.dead_since.push_back(monitor.dead_since(n));
+
+  // Full redundancy restored: nothing left degraded, victims healthy.
+  out.healed = sys.degraded_ranks().empty();
+  for (fabric::NodeId n : victims) {
+    if (monitor.state(n) != TargetState::kHealthy) out.healed = false;
+  }
+  return out;
+}
+
+TEST(FaultStormTest, TwoOfEightTargetsDieAndTheRunSurvives) {
+  // Kill mid-first-checkpoint (compute ~2ms, then IO), recover at 60ms.
+  StormOutcome a = run_fault_storm(2, 3 * kMillisecond, 60 * kMillisecond);
+  ASSERT_TRUE(a.ok) << "checkpoint/restart must survive the storm";
+  EXPECT_GE(a.failovers, 1u);
+  EXPECT_GE(a.degraded_ckpts, 1u);
+  for (SimTime t : a.dead_since) EXPECT_GT(t, 0);
+  // Healing restored full redundancy before the horizon.
+  EXPECT_TRUE(a.healed);
+  EXPECT_GT(a.heal_bytes, 0u);
+
+  // Determinism: the same storm produces the identical failover/metric
+  // stream, tick for tick.
+  StormOutcome b = run_fault_storm(2, 3 * kMillisecond, 60 * kMillisecond);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(a.failovers, b.failovers);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.heal_bytes, b.heal_bytes);
+  EXPECT_EQ(a.transitions, b.transitions);
+  EXPECT_EQ(a.degraded_ckpts, b.degraded_ckpts);
+  EXPECT_EQ(a.dead_since, b.dead_since);
+  EXPECT_EQ(a.total_time, b.total_time);
+}
+
+}  // namespace
+}  // namespace nvmecr

@@ -27,6 +27,7 @@
 //
 // --quick shrinks iteration counts for CI smoke; --check exits nonzero
 // if any gated ratio regresses more than 25% below the baseline value.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -43,10 +44,12 @@
 #include "hw/payload_store.h"
 #include "obs/metrics.h"
 #include "obs/observer.h"
+#include "obs/profile.h"
 #include "resilience/failover.h"
 #include "resilience/health.h"
 #include "resilience/retry.h"
 #include "simcore/engine.h"
+#include "simcore/profile.h"
 
 namespace nvmecr::bench {
 namespace {
@@ -184,6 +187,8 @@ struct E2eResult {
   double ring_hit_frac = 0;
   uint64_t group_commits = 0;
   uint64_t tag_cache_hits = 0;
+  uint64_t tag_cache_fills = 0;
+  uint64_t tag_reads = 0;
   double sim_efficiency = 0;
 };
 
@@ -206,8 +211,102 @@ E2eResult run_e2e(uint32_t nranks, uint32_t checkpoints) {
                     static_cast<double>(r.events);
   r.group_commits = metrics.counter("microfs.oplog.group_commits")->value();
   r.tag_cache_hits = metrics.counter("payload.tag_cache_hits")->value();
+  r.tag_cache_fills = metrics.counter("payload.tag_cache_fills")->value();
+  r.tag_reads = metrics.counter("payload.tag_reads")->value();
   r.sim_efficiency = m.checkpoint_efficiency();
+  // Regression guard for the e2e tag-cache shape: adjacent same-seed
+  // pattern writes merge into one giant extent per rank file, and the
+  // restart phase reads it back in io_chunk-sized pieces, so the
+  // whole-extent tag cache never engages end to end — zero hits with
+  // nonzero tag reads is the *correct* steady state, not a wiring bug
+  // (the microbench above shows the cache working when reads do cover
+  // whole extents). If either side of this ever flips, the caching
+  // story changed and this suite needs to re-derive the expectation.
+  NVMECR_CHECK(r.tag_reads > 0);
+  NVMECR_CHECK(r.tag_cache_hits == 0);
   return r;
+}
+
+// ---------------------------------------------------------------------
+// Observability overhead: the same small CoMD job timed with (a) no
+// observability at all, (b) profile hooks armed but nothing consuming
+// them — the always-compiled cost the <1% gate bounds — and (c) the
+// full profiling stack. Arms are interleaved and min-of-N so the gate
+// compares best-case wall clocks on equal footing.
+// ---------------------------------------------------------------------
+
+struct OverheadResult {
+  double plain_sec = 0;
+  double hooks_sec = 0;
+  double profiled_sec = 0;
+  double disabled_frac = 0;   // (hooks - plain) / plain, clamped at 0
+  double profiled_frac = 0;   // (profiled - plain) / plain, clamped at 0
+};
+
+double time_e2e_arm(const ComdParams& params, int arm) {
+  sim::DispatchProfiler prof;
+  obs::EpochProfiler ep;
+  obs::Observer o;
+  if (arm == 2) {
+    o.dispatch = &prof;
+    o.epoch = &ep;
+  }
+  const double t0 = now_sec();
+  run_nvmecr(params, default_runtime_config(), nullptr, /*num_ssds=*/8, o,
+             /*force_profile_hooks=*/arm == 1);
+  return now_sec() - t0;
+}
+
+OverheadResult run_overhead(uint32_t nranks, uint32_t checkpoints,
+                            uint32_t reps) {
+  ComdParams params = weak_scaling_params(nranks);
+  params.checkpoints = checkpoints;
+  (void)time_e2e_arm(params, 0);  // warmup (allocator, page cache)
+  double best[3] = {1e300, 1e300, 1e300};
+  for (uint32_t i = 0; i < reps; ++i) {
+    for (int arm = 0; arm < 3; ++arm) {
+      const double t = time_e2e_arm(params, arm);
+      if (t < best[arm]) best[arm] = t;
+    }
+  }
+  OverheadResult r;
+  r.plain_sec = best[0];
+  r.hooks_sec = best[1];
+  r.profiled_sec = best[2];
+  r.disabled_frac = std::max(0.0, (best[1] - best[0]) / best[0]);
+  r.profiled_frac = std::max(0.0, (best[2] - best[0]) / best[0]);
+  return r;
+}
+
+// ---------------------------------------------------------------------
+// --profile: one fully profiled e2e run; prints the ranked dispatch
+// cost-center table (where the host wall clock goes — the 55x
+// microbench-vs-e2e gap) and the checkpoint-epoch drilldown (where the
+// *simulated* time goes, per phase per rank, with straggler
+// attribution).
+// ---------------------------------------------------------------------
+
+void run_profiled_e2e(uint32_t nranks, uint32_t checkpoints) {
+  ComdParams params = weak_scaling_params(nranks);
+  params.checkpoints = checkpoints;
+  sim::DispatchProfiler prof;
+  obs::EpochProfiler ep;
+  obs::MetricsRegistry metrics;
+  obs::Observer o;
+  o.metrics = &metrics;
+  o.dispatch = &prof;
+  o.epoch = &ep;
+  const double t0 = now_sec();
+  run_nvmecr(params, default_runtime_config(), nullptr, /*num_ssds=*/8, o);
+  const double t1 = now_sec();
+  prof.finish();
+  std::printf("\n[profile] e2e CoMD %u ranks x %u checkpoints, wall %.2f s\n",
+              nranks, checkpoints, t1 - t0);
+  std::printf("\ndispatch cost centers (host wall clock):\n%s\n",
+              prof.table(10).c_str());
+  std::printf("checkpoint-epoch drilldown (simulated time; epoch %u = "
+              "restart):\n%s\n",
+              checkpoints, ep.drilldown_table().c_str());
 }
 
 // ---------------------------------------------------------------------
@@ -310,19 +409,22 @@ int main(int argc, char** argv) {
   using namespace nvmecr::bench;
 
   bool quick = false;
+  bool profile = false;
   std::string out_path = "BENCH_PERF.json";
   std::string check_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--profile") {
+      profile = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--check" && i + 1 < argc) {
       check_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: perf_suite [--quick] [--out PATH] "
+                   "usage: perf_suite [--quick] [--profile] [--out PATH] "
                    "[--check BASELINE]\n");
       return 2;
     }
@@ -374,6 +476,23 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(e2e.tag_cache_hits),
               e2e.sim_efficiency);
 
+  // Observability overhead: hooks-armed vs plain, min-of-N interleaved.
+  // Full mode doubles the per-rep work for finer resolution on the
+  // sub-percent bound.
+  const uint32_t obs_reps = quick ? 5 : 9;
+  const uint32_t obs_ckpts = quick ? 2 : 4;
+  std::printf("[obs] overhead, CoMD 28 ranks x %u checkpoints, 3 arms x "
+              "%u reps...\n", obs_ckpts, obs_reps);
+  const OverheadResult ovh =
+      run_overhead(/*nranks=*/28, obs_ckpts, obs_reps);
+  std::printf("[obs] plain %.3f s  hooks-only %.3f s (+%.2f%%)  profiled "
+              "%.3f s (+%.2f%%)\n",
+              ovh.plain_sec, ovh.hooks_sec, 100 * ovh.disabled_frac,
+              ovh.profiled_sec, 100 * ovh.profiled_frac);
+
+  // Optional deep profile of the e2e run (tables only; not in the JSON).
+  if (profile) run_profiled_e2e(e2e_ranks, e2e_ckpts);
+
   // Degraded-mode overhead: 1 of 8 targets dead, resilience active.
   const uint32_t deg_ranks = 8;
   const uint32_t deg_ckpts = quick ? 2 : 3;
@@ -416,7 +535,11 @@ int main(int argc, char** argv) {
         "  \"e2e.ring_hit_frac\": %.4f,\n"
         "  \"e2e.oplog_group_commits\": %llu,\n"
         "  \"e2e.payload_tag_cache_hits\": %llu,\n"
+        "  \"e2e.payload_tag_cache_fills\": %llu,\n"
+        "  \"e2e.payload_tag_reads\": %llu,\n"
         "  \"e2e.sim_efficiency\": %.6g,\n"
+        "  \"obs.disabled_overhead_frac\": %.4f,\n"
+        "  \"obs.profile_overhead_frac\": %.4f,\n"
         "  \"degraded.healthy_sim_ms\": %.6g,\n"
         "  \"degraded.sim_ms\": %.6g,\n"
         "  \"degraded.overhead_ratio\": %.4f,\n"
@@ -430,7 +553,9 @@ int main(int argc, char** argv) {
         e2e.events_per_sec, e2e.ring_hit_frac,
         static_cast<unsigned long long>(e2e.group_commits),
         static_cast<unsigned long long>(e2e.tag_cache_hits),
-        e2e.sim_efficiency,
+        static_cast<unsigned long long>(e2e.tag_cache_fills),
+        static_cast<unsigned long long>(e2e.tag_reads),
+        e2e.sim_efficiency, ovh.disabled_frac, ovh.profiled_frac,
         static_cast<double>(deg.healthy_sim) / 1e6,
         static_cast<double>(deg.degraded_sim) / 1e6, deg.overhead_ratio,
         static_cast<unsigned long long>(deg.failovers));
@@ -449,6 +574,29 @@ int main(int argc, char** argv) {
     constexpr double kTolerance = 0.75;  // fail on >25% regression
     bool ok = true;
     for (const auto& [key, want] : baseline) {
+      // Upper-bound gate: the profiling layer must stay below the
+      // baselined overhead fraction when disabled. Short wall clocks are
+      // noisier under --quick CI load, so the quick bound is looser and
+      // an over-limit sample earns one re-measure before failing.
+      if (key == "obs.disabled_overhead_frac") {
+        const double limit = quick ? 0.10 : want;
+        double got = ovh.disabled_frac;
+        if (got > limit) {
+          const OverheadResult retry =
+              run_overhead(/*nranks=*/28, obs_ckpts, obs_reps);
+          got = std::min(got, retry.disabled_frac);
+        }
+        if (got > limit) {
+          std::fprintf(stderr,
+                       "PERF REGRESSION: %s = %.4f exceeds limit %.4f\n",
+                       key.c_str(), got, limit);
+          ok = false;
+        } else {
+          std::printf("gate ok: %s = %.4f (limit %.4f)\n", key.c_str(),
+                      got, limit);
+        }
+        continue;
+      }
       double got = -1;
       if (key == "des.speedup") got = des_speedup;
       else if (key == "crc64.speedup") got = crc.speedup;

@@ -9,6 +9,10 @@
 //                                          second failure domain
 //         [--trace out.trace.json]   Perfetto trace of the whole pipeline
 //         [--metrics out.csv]        metrics registry snapshot (CSV/JSON)
+//         [--profile report.txt]     dispatch cost centers + per-epoch
+//                                    critical-path drilldown ("-" = stdout)
+//         [--flight N]               flight-recorder mode: retain only the
+//                                    last N trace events
 #include <cstdio>
 #include <cstring>
 #include <string>

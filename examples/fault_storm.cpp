@@ -18,7 +18,9 @@
 
 #include "nvmecr/runtime.h"
 #include "obs/metrics.h"
+#include "obs/observer.h"
 #include "redundancy/engine.h"
+#include "simcore/trace.h"
 #include "resilience/failover.h"
 #include "resilience/health.h"
 #include "resilience/retry.h"
@@ -81,7 +83,15 @@ int main(int argc, char** argv) {
   spec.storage_racks = 4;
   nvmecr_rt::Cluster cluster(spec);
   obs::MetricsRegistry metrics;
-  cluster.install_observer({nullptr, &metrics});
+  // Flight recorder: keep only the most recent trace events. The
+  // resilience layer dumps this tail to stderr at each failover pivot,
+  // and the engine dumps it if the run ever deadlocks.
+  sim::TraceCollector flight;
+  flight.set_ring_capacity(256);
+  obs::Observer o;
+  o.trace = &flight;
+  o.metrics = &metrics;
+  cluster.install_observer(o);
   nvmecr_rt::Scheduler sched(cluster);
 
   workloads::ComdParams params;
@@ -217,6 +227,9 @@ int main(int argc, char** argv) {
       rc = 1;
     }
   }
+  std::printf("flight recorder: retained last %zu of %llu trace events\n",
+              flight.size(),
+              static_cast<unsigned long long>(flight.total_added()));
   if (rc == 0) std::printf("storm absorbed: OK\n");
   return rc;
 }

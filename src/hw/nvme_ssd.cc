@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "obs/profile.h"
+#include "simcore/profile.h"
 #include "simcore/trace.h"
 
 namespace nvmecr::hw {
@@ -131,6 +133,7 @@ void NvmeSsd::set_observer(const obs::Observer& o) {
   m_ram_hits_ = nullptr;
   m_ram_misses_ = nullptr;
   m_chan_backlog_.clear();
+  profile_tag_ = engine_.profile_tag("hw/ssd");
   if (obs_.metrics == nullptr) return;
   const std::string prefix = "ssd." + name_ + ".";
   m_cmds_ = obs_.metrics->counter(prefix + "commands");
@@ -159,6 +162,9 @@ Status NvmeSsd::corrupt_media(uint32_t nsid, uint64_t offset, uint64_t len) {
 }
 
 sim::Task<Status> NvmeSsd::submit(Command cmd, uint64_t* tag_out) {
+  // Resumptions this command schedules (the completion wakeup, timeout
+  // burns) dispatch under the device's cost center.
+  sim::ProfileTagScope profile_scope(engine_, profile_tag_);
   if (device_failed_) {
     co_return IoError("device " + name_ + " failed");
   }
@@ -291,6 +297,16 @@ sim::Task<Status> NvmeSsd::submit(Command cmd, uint64_t* tag_out) {
     obs_.trace->add_span(trace_track_, op_name, engine_.now(), completion,
                          {{"bytes", static_cast<double>(cmd.len)},
                           {"cmds", static_cast<double>(ncmds)}});
+  }
+  if (obs_.epoch != nullptr) {
+    // Critical-path decomposition of the device's share of the blocking
+    // time: controller queueing/processing vs channel/flash service (the
+    // straggler window and in-order clamp count as flash backlog).
+    const SimTime submit_now = engine_.now();
+    obs_.epoch->record(engine_, obs::EpochProfiler::Phase::kTargetQueue,
+                       ctrl_done - submit_now);
+    obs_.epoch->record(engine_, obs::EpochProfiler::Phase::kFlash,
+                       completion - std::max(ctrl_done, submit_now));
   }
 
   co_await engine_.sleep_until(completion);

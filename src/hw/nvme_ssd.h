@@ -200,6 +200,7 @@ class NvmeSsd {
   obs::Counter* m_ram_hits_ = nullptr;
   obs::Counter* m_ram_misses_ = nullptr;
   std::vector<obs::Gauge*> m_chan_backlog_;
+  uint16_t profile_tag_ = 0;  // dispatch cost center (0 = unprofiled)
 };
 
 }  // namespace nvmecr::hw

@@ -227,6 +227,7 @@ StatusOr<uint64_t> PayloadStore::read_combined_tag(uint64_t offset,
   if (offset % block_size_ != 0 || len % block_size_ != 0) {
     return InvalidArgumentError("tagged read must be block-aligned");
   }
+  ++tag_reads_;
   uint64_t tag = 0;
   const uint64_t end = offset + len;
 
@@ -250,6 +251,7 @@ StatusOr<uint64_t> PayloadStore::read_combined_tag(uint64_t offset,
       } else {
         e.cached_tag = tag_of_range(e_start, e, e_start, e_end);
         e.tag_valid = true;
+        ++tag_cache_fills_;
       }
       tag += e.cached_tag;
     } else {

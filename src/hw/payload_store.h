@@ -62,7 +62,21 @@ class PayloadStore {
 
   /// Times read_combined_tag served a whole extent from its cached tag
   /// instead of re-hashing per block (exported as payload.tag_cache_hits).
+  ///
+  /// Note the cache only engages on *whole-extent* reads: extent merging
+  /// coalesces a sequentially written file into one big extent, so a
+  /// reader that fetches it back in smaller chunks (the e2e CoMD restart
+  /// path) takes the partial-overlap branch every time and hits are
+  /// legitimately zero there — see tag_reads()/tag_cache_fills() to tell
+  /// "never engaged" apart from "never called".
   uint64_t tag_cache_hits() const { return tag_cache_hits_; }
+
+  /// Total read_combined_tag calls (hit-rate denominator).
+  uint64_t tag_reads() const { return tag_reads_; }
+
+  /// Whole-extent reads that computed and cached a tag (a later identical
+  /// read would hit).
+  uint64_t tag_cache_fills() const { return tag_cache_fills_; }
 
   /// Drops all content (device reformat).
   void clear() {
@@ -119,6 +133,8 @@ class PayloadStore {
   ExtentMap extents_;
   uint64_t total_bytes_ = 0;
   mutable uint64_t tag_cache_hits_ = 0;
+  mutable uint64_t tag_cache_fills_ = 0;
+  mutable uint64_t tag_reads_ = 0;
 };
 
 }  // namespace nvmecr::hw

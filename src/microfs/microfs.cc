@@ -7,6 +7,8 @@
 #include "common/rng.h"
 #include "hw/payload_store.h"
 #include "microfs/codec.h"
+#include "obs/profile.h"
+#include "simcore/profile.h"
 #include "simcore/trace.h"
 
 namespace nvmecr::microfs {
@@ -178,6 +180,7 @@ void MicroFs::set_observer(const obs::Observer& o, const std::string& label) {
   m_pool_frees_ = nullptr;
   m_pool_occupancy_ = nullptr;
   m_bptree_ops_ = nullptr;
+  profile_tag_data_ = engine_.profile_tag("microfs/data");
   log_->set_observer(o, label, &engine_);
   if (obs_.metrics == nullptr) return;
   // Counters aggregate across instances; the occupancy gauge is per
@@ -187,6 +190,12 @@ void MicroFs::set_observer(const obs::Observer& o, const std::string& label) {
   m_bptree_ops_ = obs_.metrics->counter("microfs.bptree.ops");
   m_pool_occupancy_ =
       obs_.metrics->gauge("microfs." + label + ".pool_allocated_blocks");
+}
+
+void MicroFs::record_serialize(SimDuration d) {
+  if (obs_.epoch != nullptr) {
+    obs_.epoch->record(engine_, obs::EpochProfiler::Phase::kSerialize, d);
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -228,6 +237,9 @@ uint64_t MicroFs::device_offset(const Inode& inode, uint64_t file_off) const {
 sim::Task<Status> MicroFs::hugeblock_io(Inode& inode, uint64_t off,
                                         uint64_t len, bool is_write) {
   if (len == 0) co_return OkStatus();
+  // Data-plane dispatches (device batches, their completions) bill to
+  // the "microfs/data" cost center unless a deeper layer re-tags them.
+  sim::ProfileTagScope profile_scope(engine_, profile_tag_data_);
   const SimTime io_t0 = engine_.now();
   const uint64_t B = options_.hugeblock_size;
   const uint64_t first_hb = off / B;
@@ -712,9 +724,14 @@ sim::Task<StatusOr<uint64_t>> MicroFs::write(int fd,
   NVMECR_CO_RETURN_IF_ERROR(ensure_blocks(*inode, off + len));
   const uint64_t blocks_touched =
       (off + len - 1) / options_.hugeblock_size - off / options_.hugeblock_size + 1;
-  co_await engine_.delay(options_.cpu_per_op +
-                         options_.cpu_per_block *
-                             static_cast<SimDuration>(blocks_touched));
+  const SimDuration write_cpu =
+      options_.cpu_per_op +
+      options_.cpu_per_block * static_cast<SimDuration>(blocks_touched);
+  {
+    sim::ProfileTagScope serialize_scope(engine_, profile_tag_data_);
+    co_await engine_.delay(write_cpu);
+  }
+  record_serialize(write_cpu);
 
   // Byte content: write each piece at its mapped device offset.
   uint64_t pos = 0;
@@ -765,9 +782,14 @@ sim::Task<Status> MicroFs::write_tagged(int fd, uint64_t len) {
   const uint64_t aligned_end = ceil_div(off + len, B) * B;
   NVMECR_CO_RETURN_IF_ERROR(ensure_blocks(*inode, aligned_end));
   const uint64_t blocks_touched = (aligned_end - aligned_start) / B;
-  co_await engine_.delay(options_.cpu_per_op +
-                         options_.cpu_per_block *
-                             static_cast<SimDuration>(blocks_touched));
+  const SimDuration wt_cpu =
+      options_.cpu_per_op +
+      options_.cpu_per_block * static_cast<SimDuration>(blocks_touched);
+  {
+    sim::ProfileTagScope serialize_scope(engine_, profile_tag_data_);
+    co_await engine_.delay(wt_cpu);
+  }
+  record_serialize(wt_cpu);
 
   inode->content = ContentKind::kTagged;
   NVMECR_CO_RETURN_IF_ERROR(co_await hugeblock_io(
@@ -800,7 +822,11 @@ sim::Task<StatusOr<uint64_t>> MicroFs::read(int fd,
   const uint64_t off = it->second.read_pos;
   const uint64_t len =
       std::min<uint64_t>(out.size(), inode->size - std::min(inode->size, off));
-  co_await engine_.delay(options_.cpu_per_op);
+  {
+    sim::ProfileTagScope serialize_scope(engine_, profile_tag_data_);
+    co_await engine_.delay(options_.cpu_per_op);
+  }
+  record_serialize(options_.cpu_per_op);
 
   uint64_t pos = 0;
   const uint64_t B = options_.hugeblock_size;
@@ -834,9 +860,14 @@ sim::Task<Status> MicroFs::read_tagged(int fd, uint64_t len) {
   const uint64_t aligned_start = off / B * B;
   const uint64_t aligned_end = ceil_div(off + clamped, B) * B;
   const uint64_t blocks_touched = (aligned_end - aligned_start) / B;
-  co_await engine_.delay(options_.cpu_per_op +
-                         options_.cpu_per_block *
-                             static_cast<SimDuration>(blocks_touched));
+  const SimDuration rt_cpu =
+      options_.cpu_per_op +
+      options_.cpu_per_block * static_cast<SimDuration>(blocks_touched);
+  {
+    sim::ProfileTagScope serialize_scope(engine_, profile_tag_data_);
+    co_await engine_.delay(rt_cpu);
+  }
+  record_serialize(rt_cpu);
   NVMECR_CO_RETURN_IF_ERROR(co_await hugeblock_io(
       *inode, aligned_start, aligned_end - aligned_start, /*is_write=*/false));
   it->second.read_pos = off + clamped;
@@ -870,7 +901,11 @@ sim::Task<Status> MicroFs::fsync(int fd) {
   // settles the device write pipeline so measurements see sustained
   // bandwidth rather than the capacitor-RAM burst.
   if (open_files_.find(fd) == open_files_.end()) co_return BadFdError();
-  co_await engine_.delay(options_.cpu_per_op);
+  {
+    sim::ProfileTagScope serialize_scope(engine_, profile_tag_data_);
+    co_await engine_.delay(options_.cpu_per_op);
+  }
+  record_serialize(options_.cpu_per_op);
   // Sync point: deferred (group-committed) log rewrites become durable.
   NVMECR_CO_RETURN_IF_ERROR(co_await log_->flush());
   if (options_.fsync_settles_device) {

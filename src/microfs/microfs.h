@@ -347,6 +347,10 @@ class MicroFs {
   obs::Counter* m_pool_frees_ = nullptr;
   obs::Gauge* m_pool_occupancy_ = nullptr;
   obs::Counter* m_bptree_ops_ = nullptr;
+  uint16_t profile_tag_data_ = 0;  // "microfs/data" cost center
+
+  /// Books FS-side CPU into the epoch critical path (no-op unprofiled).
+  void record_serialize(SimDuration d);
 };
 
 }  // namespace nvmecr::microfs

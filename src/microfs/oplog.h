@@ -213,6 +213,7 @@ class OpLog {
   obs::Counter* m_forced_full_ = nullptr;
   obs::Counter* m_group_commits_ = nullptr;
   obs::Gauge* m_free_slots_ = nullptr;
+  uint16_t profile_tag_ = 0;  // "microfs/oplog" cost center
 };
 
 }  // namespace nvmecr::microfs

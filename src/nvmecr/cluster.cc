@@ -1,6 +1,8 @@
 #include "nvmecr/cluster.h"
 
 #include "common/log.h"
+#include "simcore/profile.h"
+#include "simcore/trace.h"
 
 namespace nvmecr::nvmecr_rt {
 
@@ -58,6 +60,13 @@ Cluster::~Cluster() {
 
 void Cluster::install_observer(const obs::Observer& o) {
   observer_ = o;
+  // Arm the engine-side profiling layer: the dispatch profiler buckets
+  // host wall time per cost center, the trace collector doubles as the
+  // deadlock flight recorder, and the context-stamping hooks are enabled
+  // only when some profiler will consume the contexts.
+  engine_.set_profiler(o.dispatch);
+  engine_.set_flight_recorder(o.trace);
+  engine_.set_profile_hooks(o.dispatch != nullptr || o.epoch != nullptr);
   net_.set_observer(o);
   for (auto& ssd : storage_ssds_) ssd->set_observer(o);
   for (auto& ssd : local_ssds_) ssd->set_observer(o);
@@ -75,9 +84,18 @@ void Cluster::export_run_metrics() {
   push("engine.now_ring_hits", engine_.now_ring_hits(),
        exported_now_ring_hits_);
   uint64_t tag_hits = 0;
-  for (const auto& ssd : storage_ssds_) tag_hits += ssd->payload().tag_cache_hits();
-  for (const auto& ssd : local_ssds_) tag_hits += ssd->payload().tag_cache_hits();
+  uint64_t tag_fills = 0;
+  uint64_t tag_reads = 0;
+  const auto sum_payload = [&](const hw::NvmeSsd& ssd) {
+    tag_hits += ssd.payload().tag_cache_hits();
+    tag_fills += ssd.payload().tag_cache_fills();
+    tag_reads += ssd.payload().tag_reads();
+  };
+  for (const auto& ssd : storage_ssds_) sum_payload(*ssd);
+  for (const auto& ssd : local_ssds_) sum_payload(*ssd);
   push("payload.tag_cache_hits", tag_hits, exported_tag_cache_hits_);
+  push("payload.tag_cache_fills", tag_fills, exported_tag_cache_fills_);
+  push("payload.tag_reads", tag_reads, exported_tag_reads_);
 }
 
 uint32_t Cluster::storage_ssd_index(fabric::NodeId node) const {

@@ -113,6 +113,8 @@ class Cluster {
   uint64_t exported_events_dispatched_ = 0;
   uint64_t exported_now_ring_hits_ = 0;
   uint64_t exported_tag_cache_hits_ = 0;
+  uint64_t exported_tag_cache_fills_ = 0;
+  uint64_t exported_tag_reads_ = 0;
 };
 
 /// A job's storage allocation: the balancer result plus the NVMe

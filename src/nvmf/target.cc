@@ -1,8 +1,13 @@
 #include "nvmf/target.h"
 
+#include "obs/profile.h"
+#include "simcore/profile.h"
+
 namespace nvmecr::nvmf {
 
 namespace {
+
+using obs::EpochProfiler;
 
 /// Initiator-side view of a remote namespace through one qpair.
 class RemoteDevice final : public hw::BlockDevice {
@@ -121,21 +126,38 @@ class RemoteDevice final : public hw::BlockDevice {
   /// the transport timeout — never as a hang.
   sim::Task<Status> request(uint64_t wire_bytes, uint32_t count = 1) {
     sim::Engine& eng = target_.engine();
+    // Everything this exchange schedules dispatches under the "nvmf"
+    // cost center; phase time goes to the rank stamped by the caller.
+    sim::ProfileTagScope tag_scope(eng, target_.profile_tag());
+    const obs::Observer& obs = target_.observer();
     target_.command_begin(count);
-    co_await eng.delay(target_.params().initiator_per_cmd * count);
+    const SimDuration cpu = target_.params().initiator_per_cmd * count;
+    co_await eng.delay(cpu);
+    if (obs.epoch != nullptr) {
+      obs.epoch->record(eng, EpochProfiler::Phase::kSerialize, cpu);
+    }
     if (!target_.alive(eng.now())) {
       co_await eng.delay(target_.network().params().transport_timeout);
       target_.command_end(count);
       co_return UnreachableError("nvmf target on node " +
                                  std::to_string(target_.node()) + " down");
     }
+    const SimTime xfer0 = eng.now();
     Status s = co_await target_.network().try_transfer(client_, target_.node(),
                                                        wire_bytes);
+    if (obs.epoch != nullptr) {
+      obs.epoch->record(eng, EpochProfiler::Phase::kFabric,
+                        eng.now() - xfer0);
+    }
     if (!s.ok()) {
       target_.command_end(count);
       co_return s;
     }
     const SimTime cpu_done = target_.reserve_poll_group(eng.now(), count);
+    if (obs.epoch != nullptr) {
+      obs.epoch->record(eng, EpochProfiler::Phase::kTargetQueue,
+                        cpu_done - eng.now());
+    }
     co_await eng.sleep_until(cpu_done);
     if (!target_.alive(eng.now())) {
       // The daemon died while the command sat in the poll group.
@@ -152,6 +174,8 @@ class RemoteDevice final : public hw::BlockDevice {
   /// inflight window opened by request().
   sim::Task<Status> response(uint64_t wire_bytes, uint32_t count = 1) {
     sim::Engine& eng = target_.engine();
+    sim::ProfileTagScope tag_scope(eng, target_.profile_tag());
+    const obs::Observer& obs = target_.observer();
     if (!target_.alive(eng.now())) {
       co_await eng.delay(target_.network().params().transport_timeout);
       target_.command_end(count);
@@ -159,8 +183,13 @@ class RemoteDevice final : public hw::BlockDevice {
                                  std::to_string(target_.node()) +
                                  " died before completing");
     }
+    const SimTime xfer0 = eng.now();
     Status s = co_await target_.network().try_transfer(target_.node(), client_,
                                                        wire_bytes);
+    if (obs.epoch != nullptr) {
+      obs.epoch->record(eng, EpochProfiler::Phase::kFabric,
+                        eng.now() - xfer0);
+    }
     target_.command_end(count);
     co_return s;
   }
@@ -204,6 +233,7 @@ void NvmfTarget::set_observer(const obs::Observer& o) {
   m_cmds_ = nullptr;
   m_inflight_ = nullptr;
   m_poll_backlog_ = nullptr;
+  profile_tag_ = engine_.profile_tag("nvmf");
   if (obs_.metrics == nullptr) return;
   const std::string prefix = "nvmf.node" + std::to_string(node_) + ".";
   m_cmds_ = obs_.metrics->counter(prefix + "commands");

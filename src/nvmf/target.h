@@ -88,6 +88,12 @@ class NvmfTarget {
   /// Records one initiator-visible operation span (no-op untraced).
   void record_op_span(const char* name, SimTime start, uint64_t bytes);
 
+  /// Observer handed out by set_observer (epoch phase recording by the
+  /// initiator-side device).
+  const obs::Observer& observer() const { return obs_; }
+  /// Cost-center tag for this target's dispatches (0 when unprofiled).
+  uint16_t profile_tag() const { return profile_tag_; }
+
   // --- fault injection (resilience tests) ------------------------------
   /// Declares the target daemon crashed from sim-time `at` (until
   /// `recover_at`; 0 = forever): commands in the window get no response
@@ -129,6 +135,7 @@ class NvmfTarget {
   obs::Counter* m_cmds_ = nullptr;
   obs::Gauge* m_inflight_ = nullptr;
   obs::Gauge* m_poll_backlog_ = nullptr;
+  uint16_t profile_tag_ = 0;
   uint32_t inflight_ = 0;
 };
 

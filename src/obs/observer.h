@@ -1,31 +1,46 @@
 // The observability hookup handed to instrumented subsystems.
 //
-// An Observer is a pair of non-owning pointers — a trace collector and a
-// metrics registry — either of which may be null. Subsystems keep a copy
-// and guard every use:
+// An Observer is a set of non-owning pointers — trace collector, metrics
+// registry, and the v2 profilers — any of which may be null. Subsystems
+// keep a copy and guard every use:
 //
 //   if (obs_.trace != nullptr) { sim::TraceSpan span(obs_.trace, ...); }
 //   if (write_cmds_ != nullptr) write_cmds_->add();
+//   if (obs_.epoch != nullptr) obs_.epoch->record(engine, phase, d);
 //
 // so instrumentation costs nothing (a pointer test) when observability is
 // off, which is the default everywhere. Cache raw Counter*/Gauge*
 // pointers at set_observer() time, not per event: registry lookups are
 // map-based and belong outside hot paths.
+//
+// `dispatch` and `epoch` are the deep-profiling layer (DESIGN.md §9):
+// Cluster::install_observer arms the engine's dispatch profiler, flight
+// recorder, and profile hooks from them.
 #pragma once
 
 #include "obs/metrics.h"
 
 namespace nvmecr::sim {
 class TraceCollector;
+class DispatchProfiler;
 }  // namespace nvmecr::sim
 
 namespace nvmecr::obs {
 
+class EpochProfiler;
+
 struct Observer {
   sim::TraceCollector* trace = nullptr;
   MetricsRegistry* metrics = nullptr;
+  /// Wall-clock dispatch cost-center profiler (armed on the engine).
+  sim::DispatchProfiler* dispatch = nullptr;
+  /// Checkpoint-epoch critical-path analyzer (fed by runtime layers).
+  EpochProfiler* epoch = nullptr;
 
-  bool any() const { return trace != nullptr || metrics != nullptr; }
+  bool any() const {
+    return trace != nullptr || metrics != nullptr || dispatch != nullptr ||
+           epoch != nullptr;
+  }
 };
 
 }  // namespace nvmecr::obs

@@ -1,6 +1,7 @@
 #include "obs/run_report.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace nvmecr::obs {
@@ -34,16 +35,49 @@ bool ends_with(const std::string& s, const char* suffix) {
 
 RunReport RunReport::from_args(int argc, char** argv) {
   RunReport report;
+  std::string flight;
   for (int i = 1; i < argc; ++i) {
     if (match_path_flag(argc, argv, &i, "--trace", &report.trace_path_)) {
       continue;
     }
+    if (match_path_flag(argc, argv, &i, "--profile", &report.profile_path_)) {
+      continue;
+    }
+    if (match_path_flag(argc, argv, &i, "--flight", &flight)) {
+      continue;
+    }
     match_path_flag(argc, argv, &i, "--metrics", &report.metrics_path_);
+  }
+  if (!flight.empty()) {
+    report.flight_events_ = std::strtoull(flight.c_str(), nullptr, 10);
+    if (report.flight_events_ > 0) {
+      report.trace_.set_ring_capacity(report.flight_events_);
+    }
   }
   return report;
 }
 
 void RunReport::finish() {
+  if (profile_enabled()) {
+    dispatch_.finish();
+    std::string text = "dispatch cost centers (host wall clock):\n";
+    text += dispatch_.table(10);
+    text += "\ncheckpoint-epoch drilldown (simulated time):\n";
+    text += epoch_.drilldown_table();
+    if (profile_path_ == "-") {
+      std::printf("%s", text.c_str());
+    } else {
+      std::FILE* f = std::fopen(profile_path_.c_str(), "w");
+      if (f != nullptr) {
+        std::fputs(text.c_str(), f);
+        std::fclose(f);
+        std::printf("profile: wrote report to %s\n", profile_path_.c_str());
+      } else {
+        std::fprintf(stderr, "profile: failed to write %s\n",
+                     profile_path_.c_str());
+      }
+    }
+  }
   if (trace_enabled()) {
     metrics_.export_gauges_to_trace(trace_);
     if (trace_.write(trace_path_)) {

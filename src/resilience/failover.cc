@@ -1,5 +1,6 @@
 #include "resilience/failover.h"
 
+#include <cstdio>
 #include <utility>
 
 #include "simcore/trace.h"
@@ -260,6 +261,22 @@ sim::Task<Status> ResilientClient::failover_file(OpenFile& f) {
   // A surfaced retryable error means the retry budget is spent; make
   // sure the monitor agrees before asking the balancer for dead domains.
   sys_.monitor_.note_exhausted(primary_node_);
+  if (sys_.obs_.trace != nullptr) {
+    // Pivot marker: lines the failover up against health instants and
+    // device spans in the exported trace.
+    sys_.obs_.trace->add_instant("resilience",
+                                 "failover_start:rank" + std::to_string(rank_),
+                                 sys_.cluster_.engine().now());
+    if (sys_.obs_.trace->is_ring()) {
+      // Flight-recorder mode: the events leading up to the pivot are
+      // exactly what a postmortem needs — dump them while they are hot.
+      std::fprintf(stderr,
+                   "resilience: rank %u failing over %s; "
+                   "flight recorder tail:\n",
+                   rank_, f.path.c_str());
+      sys_.obs_.trace->dump_tail(stderr, 16);
+    }
+  }
   sim::TraceSpan span(sys_.obs_.trace, "resilience", "failover:" + f.path,
                       sys_.cluster_.engine());
   NVMECR_CO_RETURN_IF_ERROR(co_await sys_.ensure_spare(rank_));

@@ -1,6 +1,9 @@
 #include "resilience/health.h"
 
 #include <algorithm>
+#include <string>
+
+#include "simcore/trace.h"
 
 namespace nvmecr::resilience {
 
@@ -35,7 +38,12 @@ void HealthMonitor::transition(fabric::NodeId node, Target& t,
   }
   t.state = next;
   ++transitions_;
-  (void)node;
+  if (obs_.trace != nullptr) {
+    obs_.trace->add_instant(
+        "resilience/health",
+        "node" + std::to_string(node) + ":" + target_state_name(next),
+        engine_.now());
+  }
 }
 
 void HealthMonitor::note_ok(fabric::NodeId node) {

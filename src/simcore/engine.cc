@@ -5,6 +5,9 @@
 #include <cstdlib>
 #include <utility>
 
+#include "simcore/profile.h"
+#include "simcore/trace.h"
+
 namespace nvmecr::sim {
 
 namespace {
@@ -82,6 +85,23 @@ void Engine::ring_grow() {
   ring_head_ = 0;
 }
 
+uint16_t Engine::profile_tag(const char* name) {
+  return profiler_ ? profiler_->intern(name) : 0;
+}
+
+inline void Engine::dispatch(SimTime t, uint64_t seq,
+                             std::coroutine_handle<> h, uint32_t ctx,
+                             bool from_ring) {
+  ++events_dispatched_;
+  // Restore the context captured at schedule time: while this resumption
+  // runs (and in anything it schedules), the profile scopes that were
+  // live when it was scheduled are in effect again.
+  profile_ctx_ = ctx;
+  if (profiler_) profiler_->begin_event(ctx, from_ring);
+  if (dispatch_probe_) dispatch_probe_(t, seq);
+  if (!h.done()) h.resume();
+}
+
 SimTime Engine::run() { return run_until(INT64_MAX); }
 
 SimTime Engine::run_until(SimTime deadline) {
@@ -94,18 +114,18 @@ SimTime Engine::run_until(SimTime deadline) {
       if (!heap_.empty() && heap_.front().time <= now_ &&
           heap_.front().seq < ring_[ring_head_].seq) {
         Item item = heap_pop();
-        dispatch(now_, item.seq, item.handle);
+        dispatch(now_, item.seq, item.handle, item.ctx, /*from_ring=*/false);
       } else {
         Ready r = ring_pop();
         ++now_ring_hits_;
-        dispatch(now_, r.seq, r.handle);
+        dispatch(now_, r.seq, r.handle, r.ctx, /*from_ring=*/true);
       }
       continue;
     }
     if (!heap_.empty() && heap_.front().time <= deadline) {
       Item item = heap_pop();
       if (item.time > now_) now_ = item.time;
-      dispatch(now_, item.seq, item.handle);
+      dispatch(now_, item.seq, item.handle, item.ctx, /*from_ring=*/false);
       continue;
     }
     break;
@@ -132,6 +152,16 @@ void Engine::die_deadlocked(const char* where) const {
                " ns, events_dispatched=%" PRIu64
                ") — a root is awaiting an event that never fires\n",
                where, live_roots_, now_, events_dispatched_);
+  // Post-mortem context so CI logs alone are enough to diagnose a hang:
+  // the most recent trace events and where the host time went.
+  if (flight_ != nullptr && flight_->size() > 0) {
+    std::fprintf(stderr, "flight recorder tail (last events before hang):\n");
+    flight_->dump_tail(stderr, 32);
+  }
+  if (profiler_ != nullptr) {
+    std::fprintf(stderr, "top dispatch cost centers:\n%s",
+                 profiler_->table(5).c_str());
+  }
   std::abort();
 }
 

@@ -32,6 +32,9 @@
 
 namespace nvmecr::sim {
 
+class DispatchProfiler;
+class TraceCollector;
+
 class Engine {
  public:
   Engine() {
@@ -45,16 +48,18 @@ class Engine {
   /// Current simulated time (ns).
   SimTime now() const { return now_; }
 
-  /// Schedules `h` to resume at absolute time `t` (clamped to now).
+  /// Schedules `h` to resume at absolute time `t` (clamped to now). The
+  /// current profile context is captured with the event so the dispatch
+  /// profiler can attribute the resumption to the scheduling scope.
   void schedule_at(SimTime t, std::coroutine_handle<> h) {
     if (t <= now_) {
       if (now_ring_enabled_) {
-        ring_push(Ready{seq_++, h});
+        ring_push(Ready{seq_++, h, profile_ctx_});
         return;
       }
       t = now_;
     }
-    heap_push(Item{t, seq_++, h});
+    heap_push(Item{t, seq_++, h, profile_ctx_});
   }
 
   /// Schedules `h` to resume at the current time, after already-queued
@@ -142,6 +147,38 @@ class Engine {
     dispatch_probe_ = std::move(probe);
   }
 
+  // --- wall-clock dispatch profiling (simcore/profile.h) ---------------
+  /// Arms (or disarms, with null) the per-event wall-clock profiler. The
+  /// profiler only reads host clocks and writes its own buckets — it can
+  /// never perturb the simulated schedule. Not owned.
+  void set_profiler(DispatchProfiler* profiler) { profiler_ = profiler; }
+  DispatchProfiler* profiler() const { return profiler_; }
+
+  /// Interns `name` as a cost-center tag on the armed profiler. Returns
+  /// 0 when no profiler is armed, which turns every ProfileTagScope
+  /// built from the result into a no-op — call sites cache the tag once
+  /// and pay nothing when profiling is off.
+  uint16_t profile_tag(const char* name);
+
+  /// Enables the rank/meta context-stamping hooks (ProfileRankScope /
+  /// ProfileMetaScope). Off by default so un-profiled runs skip even the
+  /// context arithmetic; the perf_suite overhead gate measures exactly
+  /// this flag's cost.
+  void set_profile_hooks(bool enabled) { profile_hooks_ = enabled; }
+  bool profile_hooks() const { return profile_hooks_; }
+
+  /// Raw profile-context word (see simcore/profile.h for the encoding).
+  /// Scopes save/restore it; the epoch analyzer decodes rank + meta bit.
+  uint32_t profile_ctx() const { return profile_ctx_; }
+  void set_profile_ctx(uint32_t ctx) { profile_ctx_ = ctx; }
+
+  /// Registers a trace collector as this engine's flight recorder: the
+  /// deadlock CHECK dumps its tail (alongside the top dispatch cost
+  /// centers) so hangs are diagnosable from the failure log alone. Works
+  /// best with a ring-mode collector (TraceCollector::set_ring_capacity)
+  /// but any collector's tail is printable. Not owned.
+  void set_flight_recorder(const TraceCollector* flight) { flight_ = flight; }
+
  private:
   static constexpr size_t kInitialCapacity = 256;
 
@@ -149,6 +186,7 @@ class Engine {
     SimTime time;
     uint64_t seq;
     std::coroutine_handle<> handle;
+    uint32_t ctx;  // profile context captured at schedule time
     /// Min-heap order: earliest time first, FIFO within a time.
     bool earlier_than(const Item& other) const {
       if (time != other.time) return time < other.time;
@@ -159,6 +197,7 @@ class Engine {
   struct Ready {
     uint64_t seq;
     std::coroutine_handle<> handle;
+    uint32_t ctx;  // profile context captured at schedule time
   };
 
   struct SleepAwaiter {
@@ -196,11 +235,10 @@ class Engine {
   }
   void ring_grow();
 
-  void dispatch(SimTime t, uint64_t seq, std::coroutine_handle<> h) {
-    ++events_dispatched_;
-    if (dispatch_probe_) dispatch_probe_(t, seq);
-    if (!h.done()) h.resume();
-  }
+  /// Defined in engine.cc (needs the complete DispatchProfiler type);
+  /// still inlined into the run loop, its only caller.
+  void dispatch(SimTime t, uint64_t seq, std::coroutine_handle<> h,
+                uint32_t ctx, bool from_ring);
 
   /// Destroys frames of completed root tasks (they park at final_suspend
   /// with no continuation).
@@ -220,6 +258,10 @@ class Engine {
   uint64_t events_dispatched_ = 0;
   uint64_t now_ring_hits_ = 0;
   std::function<void(SimTime, uint64_t)> dispatch_probe_;
+  DispatchProfiler* profiler_ = nullptr;      // not owned
+  const TraceCollector* flight_ = nullptr;    // not owned
+  uint32_t profile_ctx_ = 0;
+  bool profile_hooks_ = false;
 };
 
 }  // namespace nvmecr::sim

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <coroutine>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -23,10 +24,21 @@ class Task;
 
 namespace detail {
 
+/// Process-wide count of coroutine frames allocated (the simulation is
+/// single-threaded, so a plain counter suffices). Surfaced by the
+/// dispatch profiler: frame churn is a prime suspect for e2e slowdown.
+inline uint64_t g_frame_allocations = 0;
+
 /// Common promise functionality: stores the continuation to resume when
 /// the task completes.
 struct PromiseBase {
   std::coroutine_handle<> continuation;
+
+  static void* operator new(size_t bytes) {
+    ++g_frame_allocations;
+    return ::operator new(bytes);
+  }
+  static void operator delete(void* ptr) { ::operator delete(ptr); }
 
   struct FinalAwaiter {
     bool await_ready() noexcept { return false; }
@@ -65,6 +77,10 @@ struct Promise<void> : PromiseBase {
 };
 
 }  // namespace detail
+
+/// Total coroutine frames ever allocated in this process (monotonic).
+/// Diff two readings to count frames created by a region of code.
+inline uint64_t frame_allocations() { return detail::g_frame_allocations; }
 
 /// A lazily-started coroutine returning T. Await it exactly once.
 template <typename T = void>

@@ -47,9 +47,11 @@ std::string json_escape(const std::string& s) {
 }
 
 std::string TraceCollector::to_json() const {
-  // Stable tid assignment per track, in first-appearance order.
+  // Stable tid assignment per track, in first-appearance order (for a
+  // wrapped ring, first appearance among the retained tail).
   std::map<std::string, int> tids;
-  for (const Event& e : events_) {
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = chrono(i);
     tids.emplace(e.track, static_cast<int>(tids.size()) + 1);
   }
 
@@ -66,7 +68,8 @@ std::string TraceCollector::to_json() const {
     out += "\"}}";
     first = false;
   }
-  for (const Event& e : events_) {
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = chrono(i);
     const double ts_us = static_cast<double>(e.start) / 1e3;
     out += first ? "" : ",\n";
     out += "{\"name\":\"";
@@ -114,6 +117,34 @@ std::string TraceCollector::to_json() const {
   }
   out += "\n]\n";
   return out;
+}
+
+void TraceCollector::dump_tail(std::FILE* out, size_t max_events) const {
+  const size_t n = events_.size();
+  const size_t shown = n < max_events ? n : max_events;
+  if (total_added_ > shown) {
+    std::fprintf(out, "  ... %llu earlier events not retained ...\n",
+                 static_cast<unsigned long long>(total_added_ - shown));
+  }
+  for (size_t i = n - shown; i < n; ++i) {
+    const Event& e = chrono(i);
+    const double ts_us = static_cast<double>(e.start) / 1e3;
+    switch (e.kind) {
+      case Kind::kSpan:
+        std::fprintf(out, "  [%12.3f us] %-16s span    %s (%.3f us)\n", ts_us,
+                     e.track.c_str(), e.name.c_str(),
+                     static_cast<double>(e.end - e.start) / 1e3);
+        break;
+      case Kind::kInstant:
+        std::fprintf(out, "  [%12.3f us] %-16s instant %s\n", ts_us,
+                     e.track.c_str(), e.name.c_str());
+        break;
+      case Kind::kCounter:
+        std::fprintf(out, "  [%12.3f us] %-16s counter %s=%g\n", ts_us,
+                     e.track.c_str(), e.name.c_str(), e.value);
+        break;
+    }
+  }
 }
 
 bool TraceCollector::write(const std::string& path) const {

@@ -16,6 +16,7 @@
 // installed.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -38,36 +39,57 @@ class TraceCollector {
   /// the engine's nanoseconds are preserved as fractional us).
   void add_span(const std::string& track, const std::string& name,
                 SimTime start, SimTime end) {
-    events_.push_back(Event{Kind::kSpan, track, name, start, end, 0.0, {}});
+    push(Event{Kind::kSpan, track, name, start, end, 0.0, {}});
   }
   void add_span(const std::string& track, const std::string& name,
                 SimTime start, SimTime end, Args args) {
-    events_.push_back(
-        Event{Kind::kSpan, track, name, start, end, 0.0, std::move(args)});
+    push(Event{Kind::kSpan, track, name, start, end, 0.0, std::move(args)});
   }
 
   /// Instantaneous marker.
   void add_instant(const std::string& track, const std::string& name,
                    SimTime at) {
-    events_.push_back(Event{Kind::kInstant, track, name, at, at, 0.0, {}});
+    push(Event{Kind::kInstant, track, name, at, at, 0.0, {}});
   }
 
   /// Counter sample: one point of the time series `name` on `track`.
   /// Consecutive samples of the same name form a counter track.
   void add_counter(const std::string& track, const std::string& name,
                    SimTime at, double value) {
-    events_.push_back(Event{Kind::kCounter, track, name, at, at, value, {}});
+    push(Event{Kind::kCounter, track, name, at, at, value, {}});
   }
 
+  /// Flight-recorder mode: keep only the most recent `capacity` events,
+  /// overwriting the oldest once full (capacity 0 restores unbounded
+  /// collection). Resets the current contents. The engine's deadlock
+  /// CHECK and the resilience failover path dump the retained tail.
+  void set_ring_capacity(size_t capacity) {
+    ring_capacity_ = capacity;
+    clear();
+  }
+  bool is_ring() const { return ring_capacity_ > 0; }
+
+  /// Events currently retained (≤ ring capacity in ring mode).
   size_t size() const { return events_.size(); }
-  void clear() { events_.clear(); }
+  /// Events ever recorded, including those overwritten by the ring.
+  uint64_t total_added() const { return total_added_; }
+  void clear() {
+    events_.clear();
+    ring_start_ = 0;
+    total_added_ = 0;
+  }
 
   /// Serializes to the Trace Event Format (JSON array of "X"/"i"/"C"
   /// events; "pid" 1, one "tid" per distinct track in insertion order).
+  /// In ring mode only the retained tail is emitted, oldest first.
   std::string to_json() const;
 
   /// Writes to_json() to `path`; best effort.
   bool write(const std::string& path) const;
+
+  /// Prints a human-readable listing of the last `max_events` retained
+  /// events (oldest first) to `out` — the flight-recorder post-mortem.
+  void dump_tail(std::FILE* out, size_t max_events) const;
 
  private:
   enum class Kind { kSpan, kInstant, kCounter };
@@ -81,7 +103,27 @@ class TraceCollector {
     double value;  // counter events only
     Args args;     // span events only
   };
+
+  void push(Event e) {
+    ++total_added_;
+    if (ring_capacity_ == 0 || events_.size() < ring_capacity_) {
+      events_.push_back(std::move(e));
+      return;
+    }
+    // Ring full: overwrite the oldest slot.
+    events_[ring_start_] = std::move(e);
+    ring_start_ = (ring_start_ + 1) % ring_capacity_;
+  }
+
+  /// The i-th retained event in chronological (insertion) order.
+  const Event& chrono(size_t i) const {
+    return events_[(ring_start_ + i) % events_.size()];
+  }
+
   std::vector<Event> events_;
+  size_t ring_capacity_ = 0;  // 0 = unbounded
+  size_t ring_start_ = 0;     // oldest retained event when ring is full
+  uint64_t total_added_ = 0;
 };
 
 /// RAII span helper:

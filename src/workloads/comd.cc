@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/rng.h"
+#include "obs/profile.h"
 #include "simcore/event.h"
+#include "simcore/profile.h"
 #include "simcore/sync.h"
 
 namespace nvmecr::workloads {
@@ -46,6 +48,20 @@ sim::Task<void> rank_task(nvmecr_rt::Cluster& cluster,
   sim::Engine& eng = cluster.engine();
   Rng rng(0xC03D ^ (static_cast<uint64_t>(rank) << 20));
 
+  // Dispatch/epoch attribution. The rank scope stamps this rank into the
+  // engine's profile context once; every event this coroutine chain
+  // schedules captures it, and each dispatch restores it, so deep layers
+  // (microfs/nvmf/hw) can decode the rank from the context. Barrier
+  // wakeups are the exception — they are scheduled by the last-arriving
+  // rank — so barrier waits and compression CPU are recorded with the
+  // explicit rank below, and the barrier tag scope's destructor (which
+  // runs after the resume) restores this rank's context. All of this is
+  // inert (tags 0, hooks off) when no profiler is installed.
+  obs::EpochProfiler* const ep = cluster.observer().epoch;
+  sim::ProfileRankScope rank_scope(eng, rank);
+  const uint16_t tag_compute = eng.profile_tag("comd/compute");
+  const uint16_t tag_barrier = eng.profile_tag("comd/barrier");
+
   auto client_or = co_await system.connect(static_cast<int>(rank));
   if (!client_or.ok()) {
     state.record_error(client_or.status());
@@ -63,12 +79,17 @@ sim::Task<void> rank_task(nvmecr_rt::Cluster& cluster,
   }
   nvmecr_rt::MultiLevelPolicy policy(pfs_interval);
 
-  // Setup complete; everyone starts the timestep loop together.
-  co_await state.barrier.arrive_and_wait();
+  // Setup complete; everyone starts the timestep loop together. (Not
+  // recorded as barrier time: it measures connect skew, not BSP waits.)
+  {
+    sim::ProfileTagScope barrier_scope(eng, tag_barrier);
+    co_await state.barrier.arrive_and_wait();
+  }
   if (rank == 0) state.phase_marks.push_back(eng.now());
 
   const uint64_t full_body = params.atoms_per_rank * params.bytes_per_atom;
   for (uint32_t step = 0; step < params.checkpoints; ++step) {
+    if (ep != nullptr) ep->set_rank_epoch(rank, step);
     // Incremental checkpointing: later checkpoints dump only the dirty
     // fraction of the atom data.
     const uint64_t body =
@@ -78,9 +99,20 @@ sim::Task<void> rank_task(nvmecr_rt::Cluster& cluster,
     // Compute phase (BSP: the barrier at the end models the halo
     // exchange synchronization).
     const double jitter = rng.jitter(params.compute_jitter);
-    co_await eng.delay(static_cast<SimDuration>(
-        static_cast<double>(params.compute_per_period) * jitter));
-    co_await state.barrier.arrive_and_wait();
+    {
+      sim::ProfileTagScope compute_scope(eng, tag_compute);
+      co_await eng.delay(static_cast<SimDuration>(
+          static_cast<double>(params.compute_per_period) * jitter));
+    }
+    {
+      const SimTime b0 = eng.now();
+      sim::ProfileTagScope barrier_scope(eng, tag_barrier);
+      co_await state.barrier.arrive_and_wait();
+      if (ep != nullptr) {
+        ep->record_rank(rank, step, obs::EpochProfiler::Phase::kBarrier,
+                        eng.now() - b0);
+      }
+    }
     if (rank == 0) state.phase_marks.push_back(eng.now());
 
     // Checkpoint phase (N-N: one private file per rank).
@@ -101,8 +133,13 @@ sim::Task<void> rank_task(nvmecr_rt::Cluster& cluster,
       const uint64_t piece = std::min(params.io_chunk, body - written);
       if (params.compression_ratio > 1.0) {
         // Compress the chunk (CPU) before shipping the smaller payload.
-        co_await eng.delay(static_cast<SimDuration>(
-            params.compression_ns_per_byte * static_cast<double>(piece)));
+        const SimDuration comp = static_cast<SimDuration>(
+            params.compression_ns_per_byte * static_cast<double>(piece));
+        co_await eng.delay(comp);
+        if (ep != nullptr) {
+          ep->record_rank(rank, step, obs::EpochProfiler::Phase::kSerialize,
+                          comp);
+        }
       }
       const uint64_t wire =
           params.compression_ratio > 1.0
@@ -130,11 +167,22 @@ sim::Task<void> rank_task(nvmecr_rt::Cluster& cluster,
       state.record_error(s);
       co_return;
     }
-    co_await state.barrier.arrive_and_wait();
+    {
+      const SimTime b0 = eng.now();
+      sim::ProfileTagScope barrier_scope(eng, tag_barrier);
+      co_await state.barrier.arrive_and_wait();
+      if (ep != nullptr) {
+        ep->record_rank(rank, step, obs::EpochProfiler::Phase::kBarrier,
+                        eng.now() - b0);
+      }
+    }
     if (rank == 0) state.phase_marks.push_back(eng.now());
   }
 
   if (params.do_recovery && params.checkpoints > 0) {
+    // The restart phase is its own drilldown epoch, one past the last
+    // checkpoint step.
+    if (ep != nullptr) ep->set_rank_epoch(rank, params.checkpoints);
     // Restart: read the newest checkpoint back (always on the tier that
     // holds it). With incremental checkpointing restart still needs the
     // full state: the newest increment here (a full restore would chain
@@ -169,7 +217,15 @@ sim::Task<void> rank_task(nvmecr_rt::Cluster& cluster,
       state.record_error(s);
       co_return;
     }
-    co_await state.barrier.arrive_and_wait();
+    {
+      const SimTime b0 = eng.now();
+      sim::ProfileTagScope barrier_scope(eng, tag_barrier);
+      co_await state.barrier.arrive_and_wait();
+      if (ep != nullptr) {
+        ep->record_rank(rank, params.checkpoints,
+                        obs::EpochProfiler::Phase::kBarrier, eng.now() - b0);
+      }
+    }
     if (rank == 0) state.phase_marks.push_back(eng.now());
   }
 }

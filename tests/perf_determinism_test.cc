@@ -9,6 +9,9 @@
 #include "bench_util.h"
 #include "common/rng.h"
 #include "gtest/gtest.h"
+#include "obs/observer.h"
+#include "obs/profile.h"
+#include "simcore/profile.h"
 #include "workloads/comd.h"
 
 namespace nvmecr {
@@ -43,12 +46,23 @@ constexpr uint64_t kGoldenEvents = 79094;
 constexpr SimTime kGoldenFinalTime = 7434117816;
 
 RunFingerprint run_fingerprinted(bool ring_enabled, uint32_t nranks,
-                                 uint32_t checkpoints) {
+                                 uint32_t checkpoints,
+                                 bool profiled = false) {
   ComdParams params = weak_scaling_params(nranks);
   params.checkpoints = checkpoints;
 
   Cluster cluster;
   cluster.engine().set_now_ring_enabled(ring_enabled);
+  // Wall-clock profiling must be invisible to the schedule: install the
+  // full profiler pair when asked, before any subsystem spins up.
+  sim::DispatchProfiler prof;
+  obs::EpochProfiler epoch;
+  if (profiled) {
+    obs::Observer o;
+    o.dispatch = &prof;
+    o.epoch = &epoch;
+    cluster.install_observer(o);
+  }
   RunFingerprint fp;
   SimTime last_time = 0;
   uint64_t last_seq = 0;
@@ -111,6 +125,17 @@ TEST(PerfDeterminismTest, GoldenScheduleFingerprint) {
   const RunFingerprint fp = run_fingerprinted(true, 28, 2);
   EXPECT_EQ(fp.hash, kGoldenHash) << "events=" << fp.events
                                   << " final_time=" << fp.final_time;
+  EXPECT_EQ(fp.events, kGoldenEvents);
+  EXPECT_EQ(fp.final_time, kGoldenFinalTime);
+}
+
+TEST(PerfDeterminismTest, ProfilingDoesNotPerturbSchedule) {
+  // Arming the dispatch profiler + epoch analyzer reads host clocks into
+  // profiler-private buckets only. The golden fingerprint must not move
+  // by a single (time, seq) pair.
+  const RunFingerprint fp =
+      run_fingerprinted(true, 28, 2, /*profiled=*/true);
+  EXPECT_EQ(fp.hash, kGoldenHash);
   EXPECT_EQ(fp.events, kGoldenEvents);
   EXPECT_EQ(fp.final_time, kGoldenFinalTime);
 }

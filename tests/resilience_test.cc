@@ -7,6 +7,7 @@
 // acceptance run with bit-identical metrics across two runs.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "resilience/failover.h"
 #include "resilience/health.h"
 #include "resilience/retry.h"
+#include "simcore/trace.h"
 #include "workloads/comd.h"
 
 namespace nvmecr {
@@ -423,6 +425,110 @@ TEST(FailoverTest, MidCheckpointPivotThenHealRestoresPrimary) {
       [](std::unique_ptr<baselines::StorageClient>& cl) -> sim::Task<void> {
         EXPECT_TRUE((co_await read_file(*cl, "/mid", 4_MiB)).ok());
       }(client));
+}
+
+// Same pivot scenario, traced: the exported trace must interleave the
+// health instants, the pivot marker, and nested/overlapping spans from
+// the resilience and runtime layers so a failover is reconstructible
+// from chrome://tracing alone.
+TEST(FailoverTest, TraceCapturesPivotMarkersAndOverlappingSpans) {
+  Cluster cluster(make_spec(4, 4));
+  sim::TraceCollector trace;
+  obs::MetricsRegistry metrics;
+  obs::Observer o;
+  o.trace = &trace;
+  o.metrics = &metrics;
+  cluster.install_observer(o);
+  Scheduler sched(cluster);
+  auto job = sched.allocate(1, 1, 64_MiB, 1);
+  ASSERT_TRUE(job.ok());
+
+  HealthMonitor monitor(cluster.engine(), cluster.topology());
+  monitor.set_observer(cluster.observer());
+  RuntimeConfig config;
+  config.device_wrapper = resilience::make_retry_wrapper(
+      cluster.engine(), monitor, RetryPolicy{}, /*seed=*/42,
+      cluster.observer());
+  nvmecr_rt::NvmecrSystem primary(cluster, *job, config);
+  ResilientSystem sys(cluster, sched, primary, monitor, *job, config);
+  sys.set_observer(cluster.observer());
+
+  const fabric::NodeId node = sys.primary_node_of(0);
+  hw::NvmeSsd& ssd = cluster.storage_ssd(cluster.storage_ssd_index(node));
+  const SimTime recover_at = 80 * kMillisecond;
+
+  cluster.engine().spawn(monitor.heartbeat(
+      [&cluster](fabric::NodeId n, SimTime t) {
+        return !cluster.storage_ssd(cluster.storage_ssd_index(n))
+                    .crashed_at(t);
+      },
+      /*until=*/200 * kMillisecond));
+  cluster.engine().spawn(sys.healer(/*until=*/200 * kMillisecond));
+
+  cluster.engine().run_task(
+      [](Cluster& c, ResilientSystem& s, hw::NvmeSsd& dev,
+         SimTime rec) -> sim::Task<void> {
+        auto conn = co_await s.connect(0);
+        NVMECR_CHECK(conn.ok());
+        baselines::StorageClient& cl = **conn;
+        auto fd = co_await cl.create("/mid");
+        NVMECR_CHECK(fd.ok());
+        EXPECT_TRUE((co_await cl.write(*fd, 1_MiB)).ok());
+        dev.schedule_crash(c.engine().now(), rec);
+        EXPECT_TRUE((co_await cl.write(*fd, 1_MiB)).ok());
+        EXPECT_TRUE((co_await cl.fsync(*fd)).ok());
+        EXPECT_TRUE((co_await cl.close(*fd)).ok());
+        EXPECT_TRUE((co_await read_file(cl, "/mid", 2_MiB)).ok());
+      }(cluster, sys, ssd, recover_at));
+  ASSERT_GE(sys.failovers(), 1u);
+
+  const std::string json = trace.to_json();
+  // Pivot marker and health-state instants line up on their tracks.
+  EXPECT_NE(json.find("failover_start:rank0"), std::string::npos);
+  EXPECT_NE(json.find("resilience/health"), std::string::npos);
+  const std::string n = std::to_string(node);
+  EXPECT_NE(json.find("node" + n + ":dead"), std::string::npos);
+  EXPECT_NE(json.find("node" + n + ":healing"), std::string::npos);
+  EXPECT_NE(json.find("node" + n + ":healthy"), std::string::npos);
+  // The pivot and the later heal both appear as spans.
+  EXPECT_NE(json.find("\"failover:/mid\""), std::string::npos);
+  EXPECT_NE(json.find("\"heal:/mid\""), std::string::npos);
+
+  // Structural check: locate the failover span's [ts, ts+dur) window.
+  const size_t pos = json.find("\"name\":\"failover:/mid\"");
+  ASSERT_NE(pos, std::string::npos);
+  double fo_ts = 0.0, fo_dur = 0.0;
+  ASSERT_EQ(std::sscanf(json.c_str() + json.find("\"ts\":", pos),
+                        "\"ts\":%lf,\"dur\":%lf", &fo_ts, &fo_dur),
+            2);
+  ASSERT_GT(fo_dur, 0.0);
+  // Walk every complete ("X") span and classify it against the window:
+  // the spare-side create/write spans nest strictly inside the failover
+  // span, and the primary-side spans that hit the dead device close
+  // before the pivot — the /mid op stream straddles the window.
+  size_t nested = 0;
+  size_t before_pivot = 0;
+  for (size_t p = json.find("\"ph\":\"X\""); p != std::string::npos;
+       p = json.find("\"ph\":\"X\"", p + 1)) {
+    double ts = 0.0, dur = 0.0;
+    if (std::sscanf(json.c_str() + json.find("\"ts\":", p),
+                    "\"ts\":%lf,\"dur\":%lf", &ts, &dur) != 2) {
+      continue;
+    }
+    if (ts >= fo_ts && ts + dur <= fo_ts + fo_dur && dur < fo_dur) ++nested;
+    if (ts + dur <= fo_ts) ++before_pivot;
+  }
+  EXPECT_GT(nested, 0u);
+  EXPECT_GT(before_pivot, 0u);
+  // The heal span reopens the same file only after the pivot window has
+  // closed (the device must first recover and be declared healing).
+  const size_t heal_pos = json.find("\"name\":\"heal:/mid\"");
+  ASSERT_NE(heal_pos, std::string::npos);
+  double heal_ts = 0.0;
+  ASSERT_EQ(std::sscanf(json.c_str() + json.find("\"ts\":", heal_pos),
+                        "\"ts\":%lf", &heal_ts),
+            1);
+  EXPECT_GT(heal_ts, fo_ts + fo_dur);
 }
 
 // The failover view plugs into the multi-level restart chain between the

@@ -4,8 +4,11 @@
 // Compression trades per-rank CPU for wire/device bytes. With NVMe-CR
 // already near hardware bandwidth, fast codecs win as long as their
 // throughput comfortably exceeds each rank's share of the device; slow
-// codecs turn the checkpoint CPU-bound.
+// codecs turn the checkpoint CPU-bound. Codec models are shared with
+// the offload pipeline (src/offload/codec.h) — ext_offload sweeps the
+// same presets with the restart inflate moved to the target.
 #include "bench_util.h"
+#include "offload/codec.h"
 
 int main() {
   using namespace nvmecr;
@@ -15,24 +18,17 @@ int main() {
                "CoMD 112 procs, 10 checkpoints; codec sweep");
   TablePrinter table({"codec model", "ratio", "CPU (GB/s)",
                       "ckpt phase total (s)", "progress rate", "vs none"});
-  struct Codec {
-    const char* name;
-    double ratio;
-    double ns_per_byte;
-  };
   double base_time = 0;
-  for (const Codec& c :
-       {Codec{"none", 1.0, 0.0}, Codec{"lz4-class", 2.0, 0.3},
-        Codec{"zstd-class", 3.0, 1.2}, Codec{"slow/deep", 4.0, 6.0}}) {
+  for (const offload::Codec& c : offload::codec_presets()) {
     ComdParams params = weak_scaling_params(112);
     params.compression_ratio = c.ratio;
-    params.compression_ns_per_byte = c.ns_per_byte;
+    params.compression_ns_per_byte = c.compress_ns_per_byte;
     const JobMetrics m = run_nvmecr(params);
     const double t = to_seconds(m.checkpoint_time);
     if (c.ratio == 1.0) base_time = t;
     table.add_row({c.name, TablePrinter::num(c.ratio, 1),
-                   c.ns_per_byte > 0
-                       ? TablePrinter::num(1.0 / c.ns_per_byte, 1)
+                   c.compress_ns_per_byte > 0
+                       ? TablePrinter::num(1.0 / c.compress_ns_per_byte, 1)
                        : std::string("-"),
                    TablePrinter::num(t, 2),
                    TablePrinter::num(m.progress_rate(), 3),

@@ -45,6 +45,8 @@
 #include "obs/metrics.h"
 #include "obs/observer.h"
 #include "obs/profile.h"
+#include "offload/pipeline.h"
+#include "redundancy/engine.h"
 #include "resilience/failover.h"
 #include "resilience/health.h"
 #include "resilience/retry.h"
@@ -189,6 +191,7 @@ struct E2eResult {
   uint64_t tag_cache_hits = 0;
   uint64_t tag_cache_fills = 0;
   uint64_t tag_reads = 0;
+  uint64_t fabric_bytes = 0;  // real fabric crossings during the run
   double sim_efficiency = 0;
 };
 
@@ -213,6 +216,7 @@ E2eResult run_e2e(uint32_t nranks, uint32_t checkpoints) {
   r.tag_cache_hits = metrics.counter("payload.tag_cache_hits")->value();
   r.tag_cache_fills = metrics.counter("payload.tag_cache_fills")->value();
   r.tag_reads = metrics.counter("payload.tag_reads")->value();
+  r.fabric_bytes = metrics.counter("fabric.bytes_sent")->value();
   r.sim_efficiency = m.checkpoint_efficiency();
   // Regression guard for the e2e tag-cache shape: adjacent same-seed
   // pattern writes merge into one giant extent per rank file, and the
@@ -377,6 +381,92 @@ DegradedResult run_degraded(uint32_t nranks, uint32_t checkpoints) {
 }
 
 // ---------------------------------------------------------------------
+// Offload: (a) disabled-wrapper overhead — routing the e2e job through
+// OffloadSystem with no stages granted and no codec must cost ~nothing
+// on the host wall clock; (b) host-XOR vs target-XOR checkpoint fabric
+// bytes on a fig07-style CoMD job (the offload pipeline's headline).
+// Simulated byte counts are deterministic; only (a) needs min-of-N.
+// ---------------------------------------------------------------------
+
+struct OffloadPerfResult {
+  double plain_sec = 0;
+  double wrapped_sec = 0;
+  double disabled_frac = 0;        // (wrapped - plain) / plain, >= 0
+  uint64_t host_xor_fabric = 0;    // checkpoint-phase fabric bytes
+  uint64_t target_xor_fabric = 0;
+  double fabric_savings_frac = 0;  // 1 - target/host
+};
+
+double time_offload_arm(const ComdParams& params, bool wrapped) {
+  Cluster cluster;
+  Scheduler sched(cluster);
+  auto job = sched.allocate(params.nranks, params.procs_per_node,
+                            partition_for(params), /*num_ssds=*/8);
+  NVMECR_CHECK(job.ok());
+  nvmecr_rt::NvmecrSystem inner(cluster, *job, default_runtime_config());
+  offload::OffloadOptions opts;
+  opts.stages = 0;
+  opts.digest_checks = false;  // pure pass-through wrapper
+  offload::OffloadSystem off(cluster, inner, *job, opts);
+  baselines::StorageSystem& sys =
+      wrapped ? static_cast<baselines::StorageSystem&>(off)
+              : static_cast<baselines::StorageSystem&>(inner);
+  const double t0 = now_sec();
+  NVMECR_CHECK(ComdDriver::run(cluster, sys, params).ok());
+  return now_sec() - t0;
+}
+
+uint64_t run_xor_fabric(const ComdParams& params, redundancy::Scheme scheme) {
+  nvmecr_rt::ClusterSpec spec;
+  spec.compute_nodes = 8;
+  spec.storage_nodes = 8;
+  spec.storage_racks = 8;
+  Cluster cluster(spec);
+  Scheduler sched(cluster);
+  auto job = sched.allocate(params.nranks, params.procs_per_node,
+                            partition_for(params) * 2, /*num_ssds=*/4);
+  NVMECR_CHECK(job.ok());
+  nvmecr_rt::NvmecrSystem primary(cluster, *job, default_runtime_config());
+  redundancy::RedundancyOptions ropts;
+  ropts.scheme = scheme;
+  ropts.xor_set_size = 4;
+  auto dep = redundancy::deploy_redundancy(cluster, sched, primary, *job,
+                                           ropts);
+  NVMECR_CHECK(dep.ok());
+  const uint64_t fabric0 = cluster.network().total_bytes_sent();
+  NVMECR_CHECK(ComdDriver::run(cluster, *dep->system, params).ok());
+  return cluster.network().total_bytes_sent() - fabric0;
+}
+
+OffloadPerfResult run_offload_perf(uint32_t reps, bool quick) {
+  ComdParams params = weak_scaling_params(28);
+  params.checkpoints = 2;
+  (void)time_offload_arm(params, false);  // warmup
+  double best[2] = {1e300, 1e300};
+  for (uint32_t i = 0; i < reps; ++i) {
+    for (int arm = 0; arm < 2; ++arm) {
+      const double t = time_offload_arm(params, arm == 1);
+      if (t < best[arm]) best[arm] = t;
+    }
+  }
+  OffloadPerfResult r;
+  r.plain_sec = best[0];
+  r.wrapped_sec = best[1];
+  r.disabled_frac = std::max(0.0, (best[1] - best[0]) / best[0]);
+
+  ComdParams xp = weak_scaling_params(8);
+  xp.procs_per_node = 1;
+  xp.checkpoints = quick ? 2 : 3;
+  xp.do_recovery = false;
+  r.host_xor_fabric = run_xor_fabric(xp, redundancy::Scheme::kXor);
+  r.target_xor_fabric = run_xor_fabric(xp, redundancy::Scheme::kXorTarget);
+  r.fabric_savings_frac =
+      1.0 - static_cast<double>(r.target_xor_fabric) /
+                static_cast<double>(r.host_xor_fabric);
+  return r;
+}
+
+// ---------------------------------------------------------------------
 // Baseline gate: flat {"key": number} JSON, 25% regression tolerance.
 // ---------------------------------------------------------------------
 
@@ -493,6 +583,18 @@ int main(int argc, char** argv) {
   // Optional deep profile of the e2e run (tables only; not in the JSON).
   if (profile) run_profiled_e2e(e2e_ranks, e2e_ckpts);
 
+  // Offload: disabled-wrapper overhead + host/target XOR fabric bytes.
+  const uint32_t off_reps = quick ? 3 : 5;
+  std::printf("[offload] pass-through wrapper x %u reps + XOR fabric "
+              "sweep...\n", off_reps);
+  const OffloadPerfResult off = run_offload_perf(off_reps, quick);
+  std::printf("[offload] plain %.3f s  wrapped %.3f s (+%.2f%%)  "
+              "xor fabric host %.2f GiB -> target %.2f GiB (-%.1f%%)\n",
+              off.plain_sec, off.wrapped_sec, 100 * off.disabled_frac,
+              static_cast<double>(off.host_xor_fabric) / (1ull << 30),
+              static_cast<double>(off.target_xor_fabric) / (1ull << 30),
+              100 * off.fabric_savings_frac);
+
   // Degraded-mode overhead: 1 of 8 targets dead, resilience active.
   const uint32_t deg_ranks = 8;
   const uint32_t deg_ckpts = quick ? 2 : 3;
@@ -537,9 +639,14 @@ int main(int argc, char** argv) {
         "  \"e2e.payload_tag_cache_hits\": %llu,\n"
         "  \"e2e.payload_tag_cache_fills\": %llu,\n"
         "  \"e2e.payload_tag_reads\": %llu,\n"
+        "  \"e2e.fabric_bytes\": %llu,\n"
         "  \"e2e.sim_efficiency\": %.6g,\n"
         "  \"obs.disabled_overhead_frac\": %.4f,\n"
         "  \"obs.profile_overhead_frac\": %.4f,\n"
+        "  \"offload.disabled_overhead_frac\": %.4f,\n"
+        "  \"offload.host_xor_fabric_bytes\": %llu,\n"
+        "  \"offload.target_xor_fabric_bytes\": %llu,\n"
+        "  \"offload.fabric_savings_frac\": %.4f,\n"
         "  \"degraded.healthy_sim_ms\": %.6g,\n"
         "  \"degraded.sim_ms\": %.6g,\n"
         "  \"degraded.overhead_ratio\": %.4f,\n"
@@ -555,7 +662,12 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(e2e.tag_cache_hits),
         static_cast<unsigned long long>(e2e.tag_cache_fills),
         static_cast<unsigned long long>(e2e.tag_reads),
+        static_cast<unsigned long long>(e2e.fabric_bytes),
         e2e.sim_efficiency, ovh.disabled_frac, ovh.profiled_frac,
+        off.disabled_frac,
+        static_cast<unsigned long long>(off.host_xor_fabric),
+        static_cast<unsigned long long>(off.target_xor_fabric),
+        off.fabric_savings_frac,
         static_cast<double>(deg.healthy_sim) / 1e6,
         static_cast<double>(deg.degraded_sim) / 1e6, deg.overhead_ratio,
         static_cast<unsigned long long>(deg.failovers));
@@ -594,6 +706,42 @@ int main(int argc, char** argv) {
         } else {
           std::printf("gate ok: %s = %.4f (limit %.4f)\n", key.c_str(),
                       got, limit);
+        }
+        continue;
+      }
+      // The disabled offload wrapper must stay under the baselined
+      // overhead fraction (same shape as the obs gate: looser quick
+      // bound, one re-measure before failing).
+      if (key == "offload.disabled_overhead_frac") {
+        const double limit = quick ? 0.15 : want;
+        double got = off.disabled_frac;
+        if (got > limit) {
+          const OffloadPerfResult retry = run_offload_perf(off_reps, quick);
+          got = std::min(got, retry.disabled_frac);
+        }
+        if (got > limit) {
+          std::fprintf(stderr,
+                       "PERF REGRESSION: %s = %.4f exceeds limit %.4f\n",
+                       key.c_str(), got, limit);
+          ok = false;
+        } else {
+          std::printf("gate ok: %s = %.4f (limit %.4f)\n", key.c_str(),
+                      got, limit);
+        }
+        continue;
+      }
+      // Deterministic simulated quantity: target-side XOR must keep
+      // saving at least the baselined fraction of checkpoint fabric
+      // bytes (the offload pipeline acceptance headline).
+      if (key == "offload.fabric_savings_frac") {
+        if (off.fabric_savings_frac < want) {
+          std::fprintf(stderr,
+                       "PERF REGRESSION: %s = %.4f below floor %.4f\n",
+                       key.c_str(), off.fabric_savings_frac, want);
+          ok = false;
+        } else {
+          std::printf("gate ok: %s = %.4f (floor %.4f)\n", key.c_str(),
+                      off.fabric_savings_frac, want);
         }
         continue;
       }

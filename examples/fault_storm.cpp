@@ -7,17 +7,25 @@
 //
 // Run:  ./build/examples/fault_storm --kill 2 --at mid-checkpoint
 //       ./build/examples/fault_storm --kill 1 --at 5000000 --recover-at 0
+//       ./build/examples/fault_storm --kill 2 --offload
+//
+// --offload layers the target-side offload pipeline (digest stage) on
+// top of the resilient system: the storm then also revokes the victims'
+// offload grants, and the demo verifies the stages fell back to host
+// compute while the checkpoint stream kept flowing.
 //
 // Exits nonzero when the storm is not fully absorbed (the run fails, no
 // failover happened, or redundancy was not restored by the horizon).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "nvmecr/runtime.h"
 #include "obs/metrics.h"
+#include "offload/pipeline.h"
 #include "obs/observer.h"
 #include "redundancy/engine.h"
 #include "simcore/trace.h"
@@ -41,12 +49,14 @@ struct Cli {
   /// targets dead forever (degraded completion only, no healing).
   SimTime recover_at = 0;
   uint64_t seed = 42;
+  /// Wrap the resilient system in the offload pipeline (digest stage).
+  bool offload = false;
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--kill K] [--ranks N] [--at mid-checkpoint|NS]\n"
-               "          [--recover-at NS|-1] [--seed N]\n",
+               "          [--recover-at NS|-1] [--seed N] [--offload]\n",
                argv0);
   return 2;
 }
@@ -72,6 +82,8 @@ int main(int argc, char** argv) {
       cli.recover_at = static_cast<SimTime>(std::strtoll(v, nullptr, 0));
     } else if (std::strcmp(argv[i], "--seed") == 0 && (v = next())) {
       cli.seed = std::strtoull(v, nullptr, 0);
+    } else if (std::strcmp(argv[i], "--offload") == 0) {
+      cli.offload = true;
     } else {
       return usage(argv[0]);
     }
@@ -139,6 +151,19 @@ int main(int argc, char** argv) {
                                   *job, config);
   sys.set_observer(cluster.observer());
 
+  // Optional offload pipeline on top: the targets digest each landed
+  // extent until the storm kills them, then the stage falls back to
+  // host-side CRC and the session is recorded in the degraded manifest.
+  std::optional<offload::OffloadSystem> off;
+  if (cli.offload) {
+    offload::OffloadOptions oopts;
+    oopts.stages = nvmf::kOffloadDigest;
+    off.emplace(cluster, sys, *job, oopts);
+  }
+  baselines::StorageSystem& run_sys =
+      off ? static_cast<baselines::StorageSystem&>(*off)
+          : static_cast<baselines::StorageSystem&>(sys);
+
   const SimTime kill_at = cli.at > 0 ? cli.at : 3 * kMillisecond;
   const SimTime recover_at =
       cli.recover_at < 0
@@ -174,7 +199,7 @@ int main(int argc, char** argv) {
       horizon));
   cluster.engine().spawn(sys.healer(horizon));
 
-  auto r = workloads::ComdDriver::run(cluster, sys, params);
+  auto r = workloads::ComdDriver::run(cluster, run_sys, params);
   if (!r.ok()) {
     std::fprintf(stderr, "FAIL: run did not survive the storm: %s\n",
                  r.status().to_string().c_str());
@@ -204,6 +229,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(sys.healed_bytes()),
               static_cast<unsigned long long>(monitor.transitions()));
 
+  if (off) {
+    std::printf("offload: host_compute=%llu ns, fallbacks=%llu\n",
+                static_cast<unsigned long long>(off->host_compute_ns()),
+                static_cast<unsigned long long>(off->fallbacks()));
+    for (const std::string& line : off->fallback_log()) {
+      std::printf("offload degraded manifest: %s\n", line.c_str());
+    }
+  }
+
   int rc = 0;
   if (cli.kill > 0 && sys.failovers() == 0) {
     std::fprintf(stderr, "FAIL: storm killed %u targets but no failover "
@@ -230,6 +264,13 @@ int main(int argc, char** argv) {
   std::printf("flight recorder: retained last %zu of %llu trace events\n",
               flight.size(),
               static_cast<unsigned long long>(flight.total_added()));
+  if (off && cli.kill > 0 && off->fallbacks() == 0) {
+    std::fprintf(stderr,
+                 "FAIL: storm killed %u targets but no offload session "
+                 "fell back to host compute\n",
+                 cli.kill);
+    rc = 1;
+  }
   if (rc == 0) std::printf("storm absorbed: OK\n");
   return rc;
 }

@@ -65,6 +65,17 @@ class StorageSystem {
   /// Simulated time the system's clients spent inside kernel code
   /// (§IV-D); zero for pure-userspace systems.
   virtual SimDuration kernel_time() const { return 0; }
+
+  /// Size of a target-side materialized restart image covering `path`
+  /// for `rank`, or 0 when none exists and restart must replay the
+  /// delta chain itself. Only offload-capable systems (delta-compaction
+  /// stage) return nonzero; the default keeps every other backend on
+  /// the replay path.
+  virtual uint64_t restart_image_bytes(int rank, const std::string& path) {
+    (void)rank;
+    (void)path;
+    return 0;
+  }
 };
 
 }  // namespace nvmecr::baselines

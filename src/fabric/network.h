@@ -134,6 +134,8 @@ class Network {
     }
     Nic& s = nics_[src];
     Nic& d = nics_[dst];
+    total_bytes_sent_ += bytes;
+    total_bytes_received_ += bytes;
     if (s.tx_bytes != nullptr) s.tx_bytes->add(bytes);
     if (d.rx_bytes != nullptr) d.rx_bytes->add(bytes);
     const uint64_t chunk = params_.fair_chunk;
@@ -170,6 +172,13 @@ class Network {
   SimDuration tx_backlog(NodeId node) const {
     return nics_[node].tx.backlog();
   }
+
+  /// Fabric-wide byte totals across all NICs, counted unconditionally
+  /// (observer or not). Loopback moves are excluded — they never touch a
+  /// wire — which is exactly what makes target-local offload traffic
+  /// visible as fabric savings.
+  uint64_t total_bytes_sent() const { return total_bytes_sent_; }
+  uint64_t total_bytes_received() const { return total_bytes_received_; }
 
   /// Installs per-NIC byte counters ("fabric.node<i>.{tx,rx}_bytes") and
   /// transmit-backlog gauges. Pass {} to detach.
@@ -209,6 +218,8 @@ class Network {
   const Topology& topology_;
   NetworkParams params_;
   std::vector<Nic> nics_;
+  uint64_t total_bytes_sent_ = 0;
+  uint64_t total_bytes_received_ = 0;
 };
 
 }  // namespace nvmecr::fabric

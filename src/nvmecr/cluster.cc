@@ -96,6 +96,12 @@ void Cluster::export_run_metrics() {
   push("payload.tag_cache_hits", tag_hits, exported_tag_cache_hits_);
   push("payload.tag_cache_fills", tag_fills, exported_tag_cache_fills_);
   push("payload.tag_reads", tag_reads, exported_tag_reads_);
+  push("fabric.bytes_sent", net_.total_bytes_sent(), exported_fabric_sent_);
+  push("fabric.bytes_received", net_.total_bytes_received(),
+       exported_fabric_received_);
+  uint64_t compute_busy = 0;
+  for (const auto& target : targets_) compute_busy += target->compute_busy_ns();
+  push("target.compute_busy_ns", compute_busy, exported_compute_busy_ns_);
 }
 
 uint32_t Cluster::storage_ssd_index(fabric::NodeId node) const {

@@ -115,6 +115,9 @@ class Cluster {
   uint64_t exported_tag_cache_hits_ = 0;
   uint64_t exported_tag_cache_fills_ = 0;
   uint64_t exported_tag_reads_ = 0;
+  uint64_t exported_fabric_sent_ = 0;
+  uint64_t exported_fabric_received_ = 0;
+  uint64_t exported_compute_busy_ns_ = 0;
 };
 
 /// A job's storage allocation: the balancer result plus the NVMe

@@ -214,7 +214,43 @@ NvmfTarget::NvmfTarget(sim::Engine& engine, fabric::Network& network,
                    params.target_per_cmd > 0
                        ? params.target_cores * kSecond /
                              static_cast<uint64_t>(params.target_per_cmd)
-                       : 0) {}
+                       : 0),
+      compute_(engine, static_cast<uint64_t>(params.offload_cores) * kSecond) {}
+
+SimTime NvmfTarget::reserve_compute(SimTime arrival, SimDuration work_ns) {
+  if (work_ns <= 0) return arrival;
+  compute_busy_ns_ += static_cast<uint64_t>(work_ns);
+  const SimTime done =
+      compute_.reserve_after(arrival, static_cast<uint64_t>(work_ns));
+  if (m_offload_busy_ != nullptr) {
+    m_offload_busy_->add(static_cast<uint64_t>(work_ns));
+  }
+  return done;
+}
+
+sim::Task<StatusOr<uint32_t>> NvmfTarget::negotiate_offload(
+    fabric::NodeId client_node, uint32_t requested) {
+  sim::ProfileTagScope tag_scope(engine_, profile_tag_);
+  co_await engine_.delay(params_.initiator_per_cmd);
+  if (!alive(engine_.now())) {
+    co_await engine_.delay(network_.params().transport_timeout);
+    co_return UnreachableError("nvmf target on node " + std::to_string(node_) +
+                               " down (offload negotiation)");
+  }
+  Status s =
+      co_await network_.try_transfer(client_node, node_, params_.command_bytes);
+  if (!s.ok()) co_return s;
+  co_await engine_.sleep_until(reserve_poll_group(engine_.now()));
+  if (!alive(engine_.now())) {
+    co_await engine_.delay(network_.params().transport_timeout);
+    co_return UnreachableError("nvmf target on node " + std::to_string(node_) +
+                               " died negotiating offload");
+  }
+  s = co_await network_.try_transfer(node_, client_node,
+                                     params_.completion_bytes);
+  if (!s.ok()) co_return s;
+  co_return requested & params_.offload_caps;
+}
 
 SimTime NvmfTarget::reserve_poll_group(SimTime arrival, uint32_t count) {
   commands_processed_ += count;
@@ -231,12 +267,15 @@ void NvmfTarget::set_observer(const obs::Observer& o) {
   obs_ = o;
   trace_track_ = "nvmf/node" + std::to_string(node_);
   m_cmds_ = nullptr;
+  m_offload_busy_ = nullptr;
   m_inflight_ = nullptr;
   m_poll_backlog_ = nullptr;
   profile_tag_ = engine_.profile_tag("nvmf");
+  offload_tag_ = engine_.profile_tag("nvmf/offload");
   if (obs_.metrics == nullptr) return;
   const std::string prefix = "nvmf.node" + std::to_string(node_) + ".";
   m_cmds_ = obs_.metrics->counter(prefix + "commands");
+  m_offload_busy_ = obs_.metrics->counter(prefix + "offload_busy_ns");
   m_inflight_ = obs_.metrics->gauge(prefix + "qpair_depth");
   m_poll_backlog_ = obs_.metrics->gauge(prefix + "poll_backlog_ns");
 }

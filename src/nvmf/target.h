@@ -31,6 +31,20 @@ namespace nvmecr::nvmf {
 
 using namespace nvmecr::literals;
 
+/// Offload capability bits (DESIGN.md "Offload pipeline"): what compute
+/// stages a target is willing to run storage-side. Advertised per target
+/// in NvmfParams::offload_caps and granted per session by
+/// negotiate_offload() — the storage-side analogue of an NVMe
+/// Identify-Controller capability field.
+enum OffloadCap : uint32_t {
+  kOffloadDigest = 1u << 0,    // CRC64 over landed extents
+  kOffloadCompress = 1u << 1,  // store compressed, decompress on read
+  kOffloadCompact = 1u << 2,   // fold incremental delta chains
+  kOffloadParity = 1u << 3,    // XOR parity from landed data
+  kOffloadAll = kOffloadDigest | kOffloadCompress | kOffloadCompact |
+                kOffloadParity,
+};
+
 struct NvmfParams {
   /// NVMe command capsule size on the wire.
   uint64_t command_bytes = 64;
@@ -42,6 +56,14 @@ struct NvmfParams {
   SimDuration target_per_cmd = 2_us;
   /// Poll-group cores on the target (multi-tenant scaling).
   uint32_t target_cores = 4;
+  /// Offload stages this target advertises (OffloadCap bits). All on by
+  /// default — whether any stage actually runs is the session's choice
+  /// (negotiate_offload), so advertising is free.
+  uint32_t offload_caps = kOffloadAll;
+  /// Cores dedicated to offloaded compute, separate from the poll-group
+  /// pool so data-path command processing is never starved by a
+  /// background compaction or parity fold.
+  uint32_t offload_cores = 2;
 };
 
 class NvmfTarget {
@@ -66,7 +88,26 @@ class NvmfTarget {
   /// earlier than `arrival`; returns when their processing would finish.
   SimTime reserve_poll_group(SimTime arrival, uint32_t count = 1);
 
+  /// Books `work_ns` of single-core offload compute (digest, decompress,
+  /// compaction fold, parity XOR) on the target's dedicated offload-core
+  /// pool, starting no earlier than `arrival`; returns when the work
+  /// would finish. Non-suspending (fluid FIFO model, like the poll
+  /// groups): callers sleep_until the returned time when the result is
+  /// on their critical path, or just record it for background stages.
+  SimTime reserve_compute(SimTime arrival, SimDuration work_ns);
+
+  /// Admin-command exchange negotiating the session's offload stages:
+  /// the client requests a capability mask and the target grants
+  /// `requested & offload_caps`. Pays one command round trip (initiator
+  /// CPU, capsule, poll group, completion); a dead target daemon
+  /// surfaces as kUnreachable after the transport timeout so callers
+  /// can fall back to host-side compute.
+  sim::Task<StatusOr<uint32_t>> negotiate_offload(fabric::NodeId client_node,
+                                                  uint32_t requested);
+
   uint64_t commands_processed() const { return commands_processed_; }
+  /// Total offloaded compute booked on this target (busy ns, all cores).
+  uint64_t compute_busy_ns() const { return compute_busy_ns_; }
 
   /// Qpair-to-hardware-queue mapping: each connection gets a dedicated
   /// hardware queue while the controller has them (Principle 3); beyond
@@ -93,6 +134,8 @@ class NvmfTarget {
   const obs::Observer& observer() const { return obs_; }
   /// Cost-center tag for this target's dispatches (0 when unprofiled).
   uint16_t profile_tag() const { return profile_tag_; }
+  /// Cost-center tag for offloaded compute (0 when unprofiled).
+  uint16_t offload_tag() const { return offload_tag_; }
 
   // --- fault injection (resilience tests) ------------------------------
   /// Declares the target daemon crashed from sim-time `at` (until
@@ -121,7 +164,11 @@ class NvmfTarget {
   /// Poll groups as an op-granular pool: one "byte" == one command, rate
   /// == cores / target_per_cmd commands per second.
   sim::BandwidthResource poll_groups_;
+  /// Offload compute as a ns-granular pool: one "byte" == one ns of
+  /// single-core work, rate == offload_cores ns of work per second.
+  sim::BandwidthResource compute_;
   uint64_t commands_processed_ = 0;
+  uint64_t compute_busy_ns_ = 0;
   /// (queue id, connections using it); shared once the budget runs out.
   std::vector<std::pair<uint32_t, uint32_t>> queue_refs_;
   uint32_t next_shared_ = 0;
@@ -133,9 +180,11 @@ class NvmfTarget {
   obs::Observer obs_;
   std::string trace_track_;
   obs::Counter* m_cmds_ = nullptr;
+  obs::Counter* m_offload_busy_ = nullptr;
   obs::Gauge* m_inflight_ = nullptr;
   obs::Gauge* m_poll_backlog_ = nullptr;
   uint16_t profile_tag_ = 0;
+  uint16_t offload_tag_ = 0;
   uint32_t inflight_ = 0;
 };
 

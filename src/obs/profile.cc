@@ -19,6 +19,8 @@ const char* EpochProfiler::phase_name(Phase p) {
       return "flash";
     case Phase::kBarrier:
       return "barrier";
+    case Phase::kTargetCompute:
+      return "target_compute";
     case Phase::kOther:
       return "other";
   }

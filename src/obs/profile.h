@@ -13,6 +13,8 @@
 //   target_queue target poll-group backlog + SSD controller queueing
 //   flash        channel/flash service time inside the SSD
 //   barrier      inter-rank synchronization waits (app layer)
+//   target_compute  offloaded work (digest, decompress, compaction,
+//                parity XOR) charged on the target's compute pool
 //
 // Deep layers don't know which rank or epoch they serve; they call
 // record(engine, phase, d) and the analyzer decodes the rank from the
@@ -45,9 +47,10 @@ class EpochProfiler {
     kTargetQueue,
     kFlash,
     kBarrier,
+    kTargetCompute,
     kOther,
   };
-  static constexpr size_t kNumPhases = 7;
+  static constexpr size_t kNumPhases = 8;
   static const char* phase_name(Phase p);
 
   /// Declares that `rank` is now working on checkpoint epoch `epoch`

@@ -1,0 +1,25 @@
+#include "offload/codec.h"
+
+#include <string>
+
+namespace nvmecr::offload {
+
+Codec codec_none() { return Codec{"none", 1.0, 0.0, 0.0}; }
+Codec codec_lz4_class() { return Codec{"lz4-class", 2.0, 0.3, 0.15}; }
+Codec codec_zstd_class() { return Codec{"zstd-class", 3.0, 1.2, 0.35}; }
+Codec codec_slow_deep() { return Codec{"slow/deep", 4.0, 6.0, 0.8}; }
+
+const std::vector<Codec>& codec_presets() {
+  static const std::vector<Codec> kPresets = {
+      codec_none(), codec_lz4_class(), codec_zstd_class(), codec_slow_deep()};
+  return kPresets;
+}
+
+std::optional<Codec> find_codec(std::string_view name) {
+  for (const Codec& c : codec_presets()) {
+    if (name == c.name) return c;
+  }
+  return std::nullopt;
+}
+
+}  // namespace nvmecr::offload

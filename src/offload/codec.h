@@ -1,0 +1,66 @@
+// Checkpoint compression codec models, shared by the host-side
+// compression path (bench/ext_compression), the offload pipeline
+// (pipeline.h) and the benches that sweep the codec space.
+//
+// A codec is three numbers: the compression ratio and the single-core
+// cost of each direction. The simulation never touches payload bytes,
+// so "compressing" a chunk means paying the CPU cost and shrinking the
+// byte count that crosses the wire and lands on the device;
+// "decompressing" pays the (cheaper) inverse cost and re-inflates the
+// stream for the application.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/units.h"
+
+namespace nvmecr::offload {
+
+struct Codec {
+  const char* name = "none";
+  /// Input/output size ratio; 1.0 disables the codec.
+  double ratio = 1.0;
+  /// Single-core CPU per *raw* input byte, compress direction.
+  double compress_ns_per_byte = 0.0;
+  /// Single-core CPU per *raw* output byte, decompress direction
+  /// (decompression is typically several times faster than compression).
+  double decompress_ns_per_byte = 0.0;
+
+  bool enabled() const { return ratio > 1.0; }
+
+  /// Bytes that cross the wire / land on the device for `raw` input
+  /// bytes (at least 1 for any non-empty input).
+  uint64_t wire_bytes(uint64_t raw) const {
+    if (!enabled() || raw == 0) return raw;
+    const auto w = static_cast<uint64_t>(static_cast<double>(raw) / ratio);
+    return w > 0 ? w : 1;
+  }
+  SimDuration compress_cost(uint64_t raw) const {
+    return static_cast<SimDuration>(compress_ns_per_byte *
+                                    static_cast<double>(raw));
+  }
+  SimDuration decompress_cost(uint64_t raw) const {
+    return static_cast<SimDuration>(decompress_ns_per_byte *
+                                    static_cast<double>(raw));
+  }
+};
+
+/// Calibrated codec classes (single-core, order-of-magnitude honest):
+/// lz4-class ~3.3 GB/s compress / ~6.7 GB/s decompress at 2x;
+/// zstd-class ~0.8 GB/s / ~2.9 GB/s at 3x; slow/deep ~0.17 GB/s /
+/// ~1.25 GB/s at 4x (the CPU-bound crossover point).
+Codec codec_none();
+Codec codec_lz4_class();
+Codec codec_zstd_class();
+Codec codec_slow_deep();
+
+/// All presets, none first (the sweep order the benches print).
+const std::vector<Codec>& codec_presets();
+
+/// Preset by name ("none", "lz4-class", "zstd-class", "slow/deep").
+std::optional<Codec> find_codec(std::string_view name);
+
+}  // namespace nvmecr::offload

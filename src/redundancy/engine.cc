@@ -5,6 +5,8 @@
 #include "common/crc.h"
 #include "common/log.h"
 #include "common/rng.h"
+#include "obs/profile.h"
+#include "simcore/profile.h"
 #include "simcore/trace.h"
 
 namespace nvmecr::redundancy {
@@ -183,13 +185,55 @@ sim::Task<void> RedundantSystem::encode_parity(uint32_t rank, std::string path,
     note_degraded();
     co_return;
   }
-  const SimTime t0 = cluster_.engine().now();
+  sim::Engine& eng = cluster_.engine();
+  const SimTime t0 = eng.now();
   sim::TraceSpan span(cluster_.observer().trace,
                       "redundancy/rank" + std::to_string(rank),
-                      "parity_encode", cluster_.engine());
-  // Single-core XOR over (k-1) input streams of one segment each.
-  co_await cluster_.engine().delay(static_cast<SimDuration>(
-      opts_.xor_ns_per_byte * static_cast<double>((k - 1) * seg.device_bytes)));
+                      "parity_encode", eng);
+  const auto work = static_cast<SimDuration>(
+      opts_.xor_ns_per_byte * static_cast<double>((k - 1) * seg.device_bytes));
+  if (opts_.scheme == Scheme::kXorTarget) {
+    // Target-side fold (DESIGN.md "Offload pipeline"): the NVMe-oF target
+    // holding this member's parity segment XORs the survivors'
+    // already-landed data itself. The host ships no parity bytes; the
+    // only fabric traffic is an east-west digest-word exchange from the
+    // other members' primary targets, and the fold's CPU lands on the
+    // parity target's compute pool instead of the member's host core.
+    const fabric::NodeId parity_node =
+        plan_.assignment.ssd_nodes[plan_.assignment.ssd_of_rank[rank]];
+    nvmf::NvmfTarget& pt =
+        cluster_.target(cluster_.storage_ssd_index(parity_node));
+    if (!pt.alive(eng.now())) {
+      note_degraded();
+      co_return;
+    }
+    for (uint32_t i = 0; i < members.size(); ++i) {
+      if (i == my) continue;
+      Status ts = co_await cluster_.network().try_transfer(
+          plan_.primary_node_of_rank[members[i]], parity_node,
+          t_words * sizeof(uint64_t));
+      if (!ts.ok()) {
+        note_degraded();
+        co_return;
+      }
+    }
+    sim::ProfileTagScope tag_scope(eng, pt.offload_tag());
+    const SimTime fold_done = pt.reserve_compute(eng.now(), work);
+    if (obs::EpochProfiler* ep = cluster_.observer().epoch) {
+      ep->record(eng, obs::EpochProfiler::Phase::kTargetCompute,
+                 fold_done - eng.now());
+    }
+    co_await eng.sleep_until(fold_done);
+    if (!pt.alive(eng.now())) {
+      note_degraded();
+      co_return;
+    }
+  } else {
+    // Single-core XOR over (k-1) input streams of one segment each, on
+    // the member's host.
+    co_await eng.delay(work);
+    host_encode_ns_ += static_cast<uint64_t>(work);
+  }
 
   co_await st.repl_mutex.lock();
   Status s = OkStatus();
@@ -313,7 +357,8 @@ sim::Task<Status> RedundantClient::close(int fd) {
         (void)co_await st.joiner.join();
       }
       break;
-    case Scheme::kXor: {
+    case Scheme::kXor:
+    case Scheme::kXorTarget: {
       const uint32_t set = sys_.plan_.set_of_rank[rank_];
       const uint64_t seq = st.xor_seq++;
       RedundantSystem::SetProgress& sp = sys_.set_progress(set, seq);
@@ -342,8 +387,7 @@ sim::Task<Status> RedundantClient::unlink(const std::string& path) {
       }
       (void)co_await st.store_client->unlink(path);
       st.repl_mutex.unlock();
-    } else if (sys_.opts_.scheme == Scheme::kXor &&
-               st.parity.count(path) != 0) {
+    } else if (is_xor(sys_.opts_.scheme) && st.parity.count(path) != 0) {
       co_await st.repl_mutex.lock();
       (void)co_await st.store_client->unlink(sys_.parity_path(path));
       st.repl_mutex.unlock();
@@ -471,17 +515,28 @@ StatusOr<RedundantDeployment> deploy_redundancy(
     // Partner replicas need full-size partitions; XOR parity segments
     // only ~1/(K-1), plus slack for padding and fs metadata.
     uint64_t part = primary_job.partition_bytes;
-    if (opts.scheme == Scheme::kXor) {
+    if (is_xor(opts.scheme)) {
       const uint64_t k = std::max<uint32_t>(2, opts.xor_set_size);
       part = ceil_div(part, k - 1) + 2 * opts.digest_chunk + 64_MiB;
       // Partition slots stack back to back inside the namespace, so an
       // unaligned size would misalign every slot but the first.
       part = ceil_div(part, 1_MiB) * 1_MiB;
     }
+    // kXorTarget writes parity through target-local sessions: each rank's
+    // store session "runs" on the storage node that holds its parity
+    // segment, so segment writes ride the network's loopback path and
+    // never cross the fabric (the whole point of offloading the fold).
+    std::vector<fabric::NodeId> store_rank_nodes = primary_job.rank_nodes;
+    if (opts.scheme == Scheme::kXorTarget) {
+      const auto& a = dep.plan.assignment;
+      for (uint32_t r = 0; r < store_rank_nodes.size(); ++r) {
+        store_rank_nodes[r] = a.ssd_nodes[a.ssd_of_rank[r]];
+      }
+    }
     NVMECR_ASSIGN_OR_RETURN(
         dep.store_job,
         scheduler.allocate_with_assignment(dep.plan.assignment,
-                                           primary_job.rank_nodes,
+                                           store_rank_nodes,
                                            primary_job.procs_per_node, part));
     store = std::make_unique<nvmecr_rt::NvmecrSystem>(cluster, dep.store_job,
                                                       store_config);

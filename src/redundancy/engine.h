@@ -133,6 +133,9 @@ class RedundantSystem final : public baselines::StorageSystem {
   /// Background replication/encode failures that degraded (not failed)
   /// a checkpoint.
   uint64_t degraded_files() const { return degraded_; }
+  /// Host CPU burned encoding parity (kXor only; kXorTarget folds on
+  /// the target's compute pool instead — see NvmfTarget::compute_busy_ns).
+  uint64_t host_encode_ns() const { return host_encode_ns_; }
 
   /// Manifest of rank's file, nullptr when unknown.
   const FileManifest* manifest(uint32_t rank, const std::string& path) const;
@@ -192,6 +195,7 @@ class RedundantSystem final : public baselines::StorageSystem {
 
   uint64_t redundant_bytes_ = 0;
   uint64_t degraded_ = 0;
+  uint64_t host_encode_ns_ = 0;
   int background_outstanding_ = 0;
   sim::Event background_idle_;
 

@@ -235,16 +235,35 @@ StatusOr<RedundancyPlan> plan_redundancy(
     return InvalidArgumentError(
         "plan_redundancy: primary assignment does not cover all ranks");
   }
+  const auto finish = [&](RedundancyPlan plan) {
+    plan.primary_node_of_rank.reserve(rank_nodes.size());
+    for (uint32_t r = 0; r < rank_nodes.size(); ++r) {
+      plan.primary_node_of_rank.push_back(
+          primary.ssd_nodes[primary.ssd_of_rank[r]]);
+    }
+    return plan;
+  };
   switch (opts.scheme) {
     case Scheme::kNone: {
       RedundancyPlan plan;
       plan.scheme = Scheme::kNone;
-      return plan;
+      return finish(std::move(plan));
     }
-    case Scheme::kPartner:
-      return plan_partner(topo, primary, rank_nodes, storage_nodes, opts);
+    case Scheme::kPartner: {
+      NVMECR_ASSIGN_OR_RETURN(
+          RedundancyPlan plan,
+          plan_partner(topo, primary, rank_nodes, storage_nodes, opts));
+      return finish(std::move(plan));
+    }
     case Scheme::kXor:
-      return plan_xor(topo, primary, rank_nodes, storage_nodes, opts);
+    case Scheme::kXorTarget: {
+      // Same geometry; only the encode site differs.
+      NVMECR_ASSIGN_OR_RETURN(
+          RedundancyPlan plan,
+          plan_xor(topo, primary, rank_nodes, storage_nodes, opts));
+      plan.scheme = opts.scheme;
+      return finish(std::move(plan));
+    }
   }
   return InvalidArgumentError("unknown redundancy scheme");
 }

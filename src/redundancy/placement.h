@@ -36,6 +36,11 @@ struct RedundancyPlan {
   /// primary SSDs span pairwise-distinct failure domains).
   std::vector<uint32_t> set_of_rank;
   std::vector<std::vector<uint32_t>> set_members;
+
+  /// Primary SSD node per rank, copied from the primary assignment so
+  /// downstream consumers (target-side parity encode, reconstruction)
+  /// can resolve fabric endpoints without re-threading the primary job.
+  std::vector<fabric::NodeId> primary_node_of_rank;
 };
 
 /// Plans redundant placement against an existing primary assignment.

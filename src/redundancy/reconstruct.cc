@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "simcore/profile.h"
 #include "simcore/trace.h"
 
 namespace nvmecr::redundancy {
@@ -71,7 +72,7 @@ sim::Task<Status> RecoveryClient::decode_xor(const FileManifest& m,
                                              RecoveryReport& r) {
   RedundantSystem& sys = owner_.sys_;
   const RedundancyPlan& plan = sys.plan();
-  if (plan.scheme != Scheme::kXor) {
+  if (!is_xor(plan.scheme)) {
     co_return UnavailableError("no xor erasure sets provisioned");
   }
   const uint32_t set = plan.set_of_rank[rank_];
@@ -163,10 +164,29 @@ sim::Task<Status> RecoveryClient::decode_xor(const FileManifest& m,
       words[c] = w;
     }
   }
-  // Decode CPU: XOR of k-1 input streams of one segment each.
-  co_await sys.cluster().engine().delay(static_cast<SimDuration>(
+  // Decode CPU: XOR of k-1 input streams of one segment each. With
+  // target-side offload the decode runs on the lost member's store-node
+  // target (the one holding its parity segment) when that target is
+  // still alive; otherwise fall back to the restarting host's core.
+  sim::Engine& eng = sys.cluster().engine();
+  const auto decode_work = static_cast<SimDuration>(
       sys.options().xor_ns_per_byte *
-      static_cast<double>((k - 1) * t_words * q)));
+      static_cast<double>((k - 1) * t_words * q));
+  bool decoded_on_target = false;
+  if (plan.scheme == Scheme::kXorTarget) {
+    const fabric::NodeId store_node =
+        plan.assignment.ssd_nodes[plan.assignment.ssd_of_rank[rank_]];
+    nvmf::NvmfTarget& dt =
+        sys.cluster().target(sys.cluster().storage_ssd_index(store_node));
+    if (dt.alive(eng.now())) {
+      sim::ProfileTagScope tag_scope(eng, dt.offload_tag());
+      co_await eng.sleep_until(dt.reserve_compute(eng.now(), decode_work));
+      decoded_on_target = true;
+    }
+  }
+  if (!decoded_on_target) {
+    co_await eng.delay(decode_work);
+  }
 
   // Byte-identity proof: the rebuilt word stream must reproduce the
   // digest recorded when the lost file was closed.
@@ -212,7 +232,7 @@ sim::Task<StatusOr<int>> RecoveryClient::open_read(const std::string& path) {
     s = co_await materialize_partner(*m, path, r);
   }
   // 3. XOR decode from the K-1 survivors.
-  if (!s.ok() && sys.options().scheme == Scheme::kXor) {
+  if (!s.ok() && is_xor(sys.options().scheme)) {
     s = co_await decode_xor(*m, path, r);
   }
   if (!s.ok()) {

@@ -18,6 +18,12 @@
 //             stores a parity segment of ~1/(K-1) of its checkpoint on
 //             a partner SSD. Any single member's loss is rebuilt from
 //             the K-1 survivors plus the parity segments.
+//   kXorTarget  same erasure geometry, but the parity fold is offloaded
+//             to the NVMe-oF target holding the segment (DESIGN.md
+//             "Offload pipeline"): hosts ship no parity bytes — the
+//             target XORs already-landed data, paying target compute
+//             plus a tiny east-west digest-word exchange, and writes
+//             the segment through a target-local (loopback) session.
 #pragma once
 
 #include <cstdint>
@@ -31,7 +37,13 @@ namespace nvmecr::redundancy {
 
 using namespace nvmecr::literals;
 
-enum class Scheme : uint8_t { kNone, kPartner, kXor };
+enum class Scheme : uint8_t { kNone, kPartner, kXor, kXorTarget };
+
+/// Both XOR variants share placement, parity algebra, and decode; they
+/// differ in *where* the encode runs and what crosses the fabric.
+inline bool is_xor(Scheme s) {
+  return s == Scheme::kXor || s == Scheme::kXorTarget;
+}
 
 inline const char* scheme_name(Scheme s) {
   switch (s) {
@@ -41,15 +53,18 @@ inline const char* scheme_name(Scheme s) {
       return "partner";
     case Scheme::kXor:
       return "xor";
+    case Scheme::kXorTarget:
+      return "xor-target";
   }
   return "?";
 }
 
-/// Parses the --redundancy=none|partner|xor knob.
+/// Parses the --redundancy=none|partner|xor|xor-target knob.
 inline std::optional<Scheme> parse_scheme(std::string_view name) {
   if (name == "none") return Scheme::kNone;
   if (name == "partner") return Scheme::kPartner;
   if (name == "xor") return Scheme::kXor;
+  if (name == "xor-target") return Scheme::kXorTarget;
   return std::nullopt;
 }
 

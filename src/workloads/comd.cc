@@ -1,6 +1,7 @@
 #include "workloads/comd.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/rng.h"
 #include "obs/profile.h"
@@ -24,12 +25,14 @@ struct RunState {
   explicit RunState(sim::Engine& engine, uint32_t nranks)
       : barrier(engine, static_cast<int>(nranks)),
         rank_ckpt_io(nranks, 0),
-        rank_recovery_io(nranks, 0) {}
+        rank_recovery_io(nranks, 0),
+        rank_recovery_bytes(nranks, 0) {}
   sim::Barrier barrier;
   Status first_error;
   std::vector<SimTime> phase_marks;
   std::vector<SimDuration> rank_ckpt_io;      // fast-tier only
   std::vector<SimDuration> rank_recovery_io;
+  std::vector<uint64_t> rank_recovery_bytes;  // actual restart reads
   Samples create_latency;  // ns, all ranks (single-threaded engine)
   Samples write_latency;
 
@@ -185,33 +188,73 @@ sim::Task<void> rank_task(nvmecr_rt::Cluster& cluster,
     if (ep != nullptr) ep->set_rank_epoch(rank, params.checkpoints);
     // Restart: read the newest checkpoint back (always on the tier that
     // holds it). With incremental checkpointing restart still needs the
-    // full state: the newest increment here (a full restore would chain
-    // back to the base — counted against the increment's size).
-    const uint64_t body =
+    // full state; the legacy model charges a full restore against the
+    // newest increment's size. `replay_increments` models it honestly:
+    // replay the retained delta chain plus a host-side merge — unless
+    // the system offers a target-side materialized image (the offload
+    // pipeline's delta-compaction stage), read as one full stream.
+    const uint32_t last = params.checkpoints - 1;
+    const bool last_on_pfs =
+        pfs_client != nullptr && policy.is_pfs_checkpoint(last);
+    const uint64_t inc_body =
         params.checkpoints == 1
             ? full_body
             : static_cast<uint64_t>(static_cast<double>(full_body) *
                                     params.incremental_fraction);
-    const uint32_t last = params.checkpoints - 1;
-    baselines::StorageClient& tier =
-        (pfs_client != nullptr && policy.is_pfs_checkpoint(last))
-            ? *pfs_client
-            : *client;
+    std::vector<std::pair<uint32_t, uint64_t>> plan{{last, inc_body}};
+    bool merge = false;
+    if (params.replay_increments && params.incremental_fraction < 1.0 &&
+        params.checkpoints > 1 && !last_on_pfs) {
+      const uint64_t image = system.restart_image_bytes(
+          static_cast<int>(rank), checkpoint_path(last, rank));
+      if (image > 0) {
+        plan.back().second = image;  // one materialized full image
+      } else {
+        // Chain-replay the retained checkpoints oldest-to-newest.
+        plan.clear();
+        const uint32_t first =
+            last + 1 > params.keep_last ? last + 1 - params.keep_last : 0;
+        for (uint32_t old = first; old <= last; ++old) {
+          plan.emplace_back(old, old == 0 ? full_body : inc_body);
+        }
+        merge = true;
+      }
+    }
     const SimTime io_start = eng.now();
-    const std::string path = checkpoint_path(last, rank);
-    auto fd = co_await tier.open_read(path);
-    if (!fd.ok()) {
-      state.record_error(fd.status());
-      co_return;
+    uint64_t replayed = 0;
+    Status s = OkStatus();
+    for (const auto& [step2, body] : plan) {
+      baselines::StorageClient& tier =
+          (pfs_client != nullptr && policy.is_pfs_checkpoint(step2))
+              ? *pfs_client
+              : *client;
+      auto fd = co_await tier.open_read(checkpoint_path(step2, rank));
+      if (!fd.ok()) {
+        s = fd.status();
+        break;
+      }
+      s = co_await tier.read(*fd, params.header_bytes);
+      uint64_t got = 0;
+      while (s.ok() && got < body) {
+        const uint64_t piece = std::min(params.io_chunk, body - got);
+        s = co_await tier.read(*fd, piece);
+        got += piece;
+      }
+      if (s.ok()) s = co_await tier.close(*fd);
+      if (!s.ok()) break;
+      replayed += body;
+      state.rank_recovery_bytes[rank] += params.header_bytes + body;
     }
-    Status s = co_await tier.read(*fd, params.header_bytes);
-    uint64_t got = 0;
-    while (s.ok() && got < body) {
-      const uint64_t piece = std::min(params.io_chunk, body - got);
-      s = co_await tier.read(*fd, piece);
-      got += piece;
+    if (s.ok() && merge && params.merge_ns_per_byte > 0) {
+      // Fold the replayed deltas into the restored state on the host.
+      const auto mw = static_cast<SimDuration>(
+          params.merge_ns_per_byte * static_cast<double>(replayed));
+      co_await eng.delay(mw);
+      if (ep != nullptr) {
+        ep->record_rank(rank, params.checkpoints,
+                        obs::EpochProfiler::Phase::kSerialize, mw);
+      }
     }
-    if (s.ok()) s = co_await tier.close(*fd);
     state.rank_recovery_io[rank] += eng.now() - io_start;
     if (!s.ok()) {
       state.record_error(s);
@@ -325,14 +368,9 @@ StatusOr<JobMetrics> ComdDriver::run(nvmecr_rt::Cluster& cluster,
   }
   if (params.do_recovery && params.checkpoints > 0) {
     m.recovery_time = marks.back() - marks[marks.size() - 2];
-    const double frac =
-        params.checkpoints == 1 ? 1.0 : params.incremental_fraction;
-    m.recovery_bytes = params.header_bytes * params.nranks +
-                       static_cast<uint64_t>(
-                           static_cast<double>(params.atoms_per_rank *
-                                               params.bytes_per_atom) *
-                           frac) *
-                           params.nranks;
+    // Sum what the ranks actually read (replay chains and materialized
+    // images make the per-rank amounts config- and runtime-dependent).
+    for (uint64_t b : state.rank_recovery_bytes) m.recovery_bytes += b;
   }
   m.total_time = marks.back() - marks.front() - m.recovery_time;
   m.bytes_per_checkpoint = params.job_checkpoint_bytes();

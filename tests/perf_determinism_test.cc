@@ -4,6 +4,7 @@
 // full-system scale — a fig07-style CoMD run over the real NVMe-CR
 // stack — by fingerprinting the complete dispatch schedule.
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "bench_util.h"
@@ -11,6 +12,7 @@
 #include "gtest/gtest.h"
 #include "obs/observer.h"
 #include "obs/profile.h"
+#include "offload/pipeline.h"
 #include "simcore/profile.h"
 #include "workloads/comd.h"
 
@@ -45,9 +47,12 @@ constexpr uint64_t kGoldenHash = 12336616208893251084ull;
 constexpr uint64_t kGoldenEvents = 79094;
 constexpr SimTime kGoldenFinalTime = 7434117816;
 
+enum class OffloadMode { kNone, kPassthrough, kAllStages };
+
 RunFingerprint run_fingerprinted(bool ring_enabled, uint32_t nranks,
                                  uint32_t checkpoints,
-                                 bool profiled = false) {
+                                 bool profiled = false,
+                                 OffloadMode offload = OffloadMode::kNone) {
   ComdParams params = weak_scaling_params(nranks);
   params.checkpoints = checkpoints;
 
@@ -85,7 +90,22 @@ RunFingerprint run_fingerprinted(bool ring_enabled, uint32_t nranks,
                             partition_for(params), /*num_ssds=*/4);
   NVMECR_CHECK(job.ok());
   NvmecrSystem system(cluster, *job, default_runtime_config());
-  auto m = ComdDriver::run(cluster, system, params);
+  std::optional<offload::OffloadSystem> off;
+  if (offload != OffloadMode::kNone) {
+    offload::OffloadOptions opts;
+    if (offload == OffloadMode::kPassthrough) {
+      opts.stages = 0;
+      opts.digest_checks = false;
+    } else {
+      opts.stages = nvmf::kOffloadAll;
+      opts.codec = *offload::find_codec("lz4-class");
+    }
+    off.emplace(cluster, system, *job, opts);
+  }
+  baselines::StorageSystem& run_sys =
+      off ? static_cast<baselines::StorageSystem&>(*off)
+          : static_cast<baselines::StorageSystem&>(system);
+  auto m = ComdDriver::run(cluster, run_sys, params);
   NVMECR_CHECK(m.ok());
 
   fp.final_time = cluster.engine().now();
@@ -138,6 +158,41 @@ TEST(PerfDeterminismTest, ProfilingDoesNotPerturbSchedule) {
   EXPECT_EQ(fp.hash, kGoldenHash);
   EXPECT_EQ(fp.events, kGoldenEvents);
   EXPECT_EQ(fp.final_time, kGoldenFinalTime);
+}
+
+TEST(PerfDeterminismTest, DisabledOffloadWrapperKeepsGoldenFingerprint) {
+  // Routing I/O through OffloadSystem with no stages granted and no
+  // codec must be a pure pass-through: not one (time, seq) pair of the
+  // golden schedule may move.
+  const RunFingerprint fp = run_fingerprinted(
+      true, 28, 2, /*profiled=*/false, OffloadMode::kPassthrough);
+  EXPECT_EQ(fp.hash, kGoldenHash) << "events=" << fp.events
+                                  << " final_time=" << fp.final_time;
+  EXPECT_EQ(fp.events, kGoldenEvents);
+  EXPECT_EQ(fp.final_time, kGoldenFinalTime);
+}
+
+// Golden values for the fixed offload-enabled config (all four stages
+// granted, lz4-class codec) over the same fig07-style run. Update like
+// kGoldenHash when a schedule change is intentional.
+constexpr uint64_t kOffloadGoldenHash = 16496097132532050340ull;
+constexpr uint64_t kOffloadGoldenEvents = 66998;
+constexpr SimTime kOffloadGoldenFinalTime = 6891699442;
+
+TEST(PerfDeterminismTest, OffloadEnabledScheduleIsPinned) {
+  // The offload pipeline (negotiation round trips, target compute
+  // reservations, compressed wire transfers) is itself deterministic:
+  // two runs agree bit-for-bit and match the pinned constants.
+  const RunFingerprint a = run_fingerprinted(
+      true, 28, 2, /*profiled=*/false, OffloadMode::kAllStages);
+  const RunFingerprint b = run_fingerprinted(
+      true, 28, 2, /*profiled=*/false, OffloadMode::kAllStages);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.hash, kGoldenHash);  // the grant genuinely changes the run
+  EXPECT_EQ(a.hash, kOffloadGoldenHash) << "events=" << a.events
+                                        << " final_time=" << a.final_time;
+  EXPECT_EQ(a.events, kOffloadGoldenEvents);
+  EXPECT_EQ(a.final_time, kOffloadGoldenFinalTime);
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include "nvmecr/posix_shim.h"
 #include "nvmecr/runtime.h"
 #include "obs/metrics.h"
+#include "offload/pipeline.h"
 #include "redundancy/engine.h"
 #include "resilience/failover.h"
 #include "resilience/health.h"
@@ -707,6 +708,70 @@ TEST(FaultStormTest, TwoOfEightTargetsDieAndTheRunSurvives) {
   EXPECT_EQ(a.degraded_ckpts, b.degraded_ckpts);
   EXPECT_EQ(a.dead_since, b.dead_since);
   EXPECT_EQ(a.total_time, b.total_time);
+}
+
+// ---------------------------------------------------------------------------
+// Offload interaction: a target dying mid-checkpoint revokes the rank's
+// offload grant — the stages fall back to host-side compute, the
+// degraded manifest records it, and the checkpoint still completes
+// through the resilience layer's failover.
+
+TEST(OffloadResilienceTest, TargetDeathMidCheckpointFallsBackToHost) {
+  Cluster cluster(make_spec(4, 4));
+  Scheduler sched(cluster);
+  auto job = sched.allocate(1, 1, 64_MiB, 1);
+  ASSERT_TRUE(job.ok());
+
+  HealthMonitor monitor(cluster.engine(), cluster.topology());
+  RuntimeConfig config;
+  config.device_wrapper = resilience::make_retry_wrapper(
+      cluster.engine(), monitor, RetryPolicy{}, /*seed=*/42);
+  nvmecr_rt::NvmecrSystem primary(cluster, *job, config);
+  ResilientSystem sys(cluster, sched, primary, monitor, *job, config);
+
+  offload::OffloadOptions oopts;
+  oopts.stages = nvmf::kOffloadDigest;
+  offload::OffloadSystem off(cluster, sys, *job, oopts);
+
+  const fabric::NodeId node = sys.primary_node_of(0);
+  const uint32_t idx = cluster.storage_ssd_index(node);
+
+  cluster.engine().run_task(
+      [](Cluster& c, offload::OffloadSystem& o, uint32_t ssd_idx,
+         fabric::NodeId n) -> sim::Task<void> {
+        auto conn = co_await o.connect(0);
+        NVMECR_CHECK(conn.ok());
+        baselines::StorageClient& cl = **conn;
+        EXPECT_EQ(o.granted(0), nvmf::kOffloadDigest);
+        auto fd = co_await cl.create("/mid");
+        NVMECR_CHECK(fd.ok());
+        // First chunks digest on the target...
+        EXPECT_TRUE((co_await cl.write(*fd, 1_MiB)).ok());
+        EXPECT_TRUE((co_await cl.write(*fd, 1_MiB)).ok());
+        // ...then the whole storage node dies mid-checkpoint: the SSD
+        // (so the resilient device pivots to a spare) and the target
+        // daemon (so the offload grant is revoked).
+        c.storage_ssd(ssd_idx).schedule_crash(c.engine().now());
+        c.target(ssd_idx).schedule_crash(c.engine().now());
+        EXPECT_TRUE((co_await cl.write(*fd, 1_MiB)).ok());
+        EXPECT_TRUE((co_await cl.write(*fd, 1_MiB)).ok());
+        EXPECT_TRUE((co_await cl.fsync(*fd)).ok());
+        EXPECT_TRUE((co_await cl.close(*fd)).ok());
+        EXPECT_TRUE((co_await read_file(cl, "/mid", 4_MiB)).ok());
+        (void)n;
+      }(cluster, off, idx, node));
+
+  // The checkpoint survived via failover AND the offload session fell
+  // back cleanly: grant revoked, fallback logged, host CPU burned for
+  // the post-death chunks.
+  EXPECT_GE(sys.failovers(), 1u);
+  EXPECT_EQ(off.granted(0), 0u);
+  EXPECT_EQ(off.fallbacks(), 1u);
+  ASSERT_FALSE(off.fallback_log().empty());
+  EXPECT_NE(off.fallback_log().back().find("fell back"), std::string::npos);
+  EXPECT_GT(off.host_compute_ns(), 0u);
+  // The target only digested the two pre-death chunks.
+  EXPECT_GE(cluster.target(idx).compute_busy_ns(), 1u);
 }
 
 }  // namespace

@@ -89,6 +89,78 @@ void BM_LogRecordEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_LogRecordEncode);
 
+sim::Task<void> far_future_timer(sim::Engine& eng, uint32_t id,
+                                 uint32_t hops) {
+  // Deterministic per-task delay stream, skewed so most timers land past
+  // the calendar window (~8.4 ms) and exercise window rotation + the
+  // heap spill tier rather than the bucketed fast path.
+  uint64_t seed = mix64(id + 1);
+  for (uint32_t i = 0; i < hops; ++i) {
+    seed = mix64(seed);
+    const SimDuration delay =
+        (i % 8 == 0) ? static_cast<SimDuration>(100 + seed % 4000)
+                     : static_cast<SimDuration>(1'000'000 + seed % 40'000'000);
+    co_await eng.sleep_until(eng.now() + delay);
+  }
+}
+
+sim::Task<void> near_timer(sim::Engine& eng, uint32_t id, uint32_t hops) {
+  // e2e-shaped delays: fabric hops (1-8 us), device service (20-200 us),
+  // with an occasional epoch-scale pause. This is the distribution the
+  // calendar tier actually serves in a CoMD run.
+  uint64_t seed = mix64(id + 1);
+  for (uint32_t i = 0; i < hops; ++i) {
+    seed = mix64(seed);
+    SimDuration delay;
+    if (i % 16 == 15) {
+      delay = static_cast<SimDuration>(1'000'000 + seed % 4'000'000);
+    } else if (i % 3 == 0) {
+      delay = static_cast<SimDuration>(1'000 + seed % 7'000);
+    } else {
+      delay = static_cast<SimDuration>(20'000 + seed % 180'000);
+    }
+    co_await eng.sleep_until(eng.now() + delay);
+  }
+}
+
+void BM_SchedulerNearTimer(benchmark::State& state) {
+  const bool calendar = state.range(0) != 0;
+  uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Engine eng;
+    eng.set_calendar_enabled(calendar);
+    for (uint32_t id = 0; id < 256; ++id) {
+      eng.spawn(near_timer(eng, id, 128));
+    }
+    eng.run();
+    events += eng.events_dispatched();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+  state.SetLabel(calendar ? "calendar" : "heap-only");
+}
+BENCHMARK(BM_SchedulerNearTimer)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_SchedulerFarFuture(benchmark::State& state) {
+  // Worst case for the calendar tier: far-future-skewed timers that
+  // mostly bypass the buckets. Arg(1) vs Arg(0) shows what the calendar
+  // costs (or saves) when it cannot absorb the load — the honest
+  // counterpart to the near-timer-heavy e2e numbers in perf_suite.
+  const bool calendar = state.range(0) != 0;
+  uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Engine eng;
+    eng.set_calendar_enabled(calendar);
+    for (uint32_t id = 0; id < 64; ++id) {
+      eng.spawn(far_future_timer(eng, id, 128));
+    }
+    eng.run();
+    events += eng.events_dispatched();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+  state.SetLabel(calendar ? "calendar" : "heap-only");
+}
+BENCHMARK(BM_SchedulerFarFuture)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 void BM_OpLogAppend(benchmark::State& state) {
   const bool coalesce = state.range(0) != 0;
   sim::Engine eng;

@@ -45,6 +45,11 @@ Cluster::Cluster(ClusterSpec spec)
           engine_, spec.ssd, "local-nvme" + std::to_string(i)));
     }
   }
+  // Frame-pool counters are process-wide and monotone; baseline them at
+  // construction so the first export_run_metrics() push counts only
+  // this cluster's frames, not prior runs in the same process.
+  exported_frames_allocated_ = sim::frame_allocations();
+  exported_frames_recycled_ = sim::frames_recycled();
   // Prefix log lines with this cluster's sim clock so they correlate
   // with trace spans.
   log_set_time_source(&cluster_log_now, &engine_);
@@ -83,6 +88,14 @@ void Cluster::export_run_metrics() {
        exported_events_dispatched_);
   push("engine.now_ring_hits", engine_.now_ring_hits(),
        exported_now_ring_hits_);
+  push("engine.calendar_hits", engine_.calendar_hits(),
+       exported_calendar_hits_);
+  // Frame-pool counters are process-wide (simcore/task.h), not per
+  // engine; the delta push still scopes them to this run.
+  push("engine.frames_allocated", sim::frame_allocations(),
+       exported_frames_allocated_);
+  push("engine.frames_recycled", sim::frames_recycled(),
+       exported_frames_recycled_);
   uint64_t tag_hits = 0;
   uint64_t tag_fills = 0;
   uint64_t tag_reads = 0;

@@ -112,6 +112,9 @@ class Cluster {
   // Last values pushed by export_run_metrics().
   uint64_t exported_events_dispatched_ = 0;
   uint64_t exported_now_ring_hits_ = 0;
+  uint64_t exported_calendar_hits_ = 0;
+  uint64_t exported_frames_allocated_ = 0;
+  uint64_t exported_frames_recycled_ = 0;
   uint64_t exported_tag_cache_hits_ = 0;
   uint64_t exported_tag_cache_fills_ = 0;
   uint64_t exported_tag_reads_ = 0;

@@ -10,15 +10,37 @@
 // Determinism: ties in time resume in insertion order; no wall-clock or
 // thread scheduling is involved anywhere.
 //
-// Two-tier scheduler (DESIGN.md §11): resumptions scheduled *at the
-// current time* — schedule_now(), yield(), zero delays, same-time
-// wakeups from queue arbitration and fabric hops, which dominate real
-// runs — go to a FIFO "now ring" with O(1) push/pop instead of the
-// O(log n) binary heap, which only holds strictly-future timestamps.
+// Three-tier scheduler (DESIGN.md §11):
+//
+//   1. Now ring — resumptions scheduled *at the current time*
+//      (schedule_now(), yield(), zero delays, same-time wakeups from
+//      queue arbitration) go to a FIFO ring with O(1) push/pop.
+//   2. Calendar — strictly-future timestamps within a sliding window of
+//      kCalBuckets fixed-width buckets land in their bucket with an O(1)
+//      unsorted append; a bucket is sorted once when it matures and then
+//      drained as one contiguous FIFO. This is where the bulk of a real
+//      run's events live (e2e.ring_hit_frac measured 0.0023 — almost
+//      everything is a real future timestamp).
+//   3. Binary min-heap — timestamps beyond the calendar window. The
+//      window rotates onto the heap's earliest bucket whenever the
+//      calendar drains, pulling everything below the new window limit
+//      back down into buckets.
+//
 // The global insertion sequence keeps the dispatch order bit-identical
-// to a single (time, seq) priority queue: ring entries are always newer
-// (larger seq) than any heap entry that matured to the same timestamp,
-// and the dispatch loop drains matured heap entries first.
+// to a single (time, seq) priority queue across all three tiers:
+//   - heap entries are always >= the calendar window limit, which is
+//     strictly greater than every calendar timestamp, so the calendar
+//     front (when present) is the global future minimum;
+//   - within the calendar, drained items live in buckets <= the drain
+//     bucket and bucket items in buckets beyond it, so the sorted drain
+//     buffer's front is the calendar minimum; late arrivals that land at
+//     or behind the drain bucket are sorted-inserted behind the cursor;
+//   - ring entries are always newer (larger seq) than any future entry
+//     that matured to the same timestamp, and the dispatch loop drains
+//     matured future entries first.
+// set_calendar_enabled(false) collapses tiers 2–3 back into the plain
+// heap — the in-process baseline arm for perf_suite, asserted
+// schedule-identical by perf_determinism_test.
 #pragma once
 
 #include <coroutine>
@@ -40,6 +62,7 @@ class Engine {
   Engine() {
     heap_.reserve(kInitialCapacity);
     ring_.resize(kInitialCapacity);
+    cal_buckets_.resize(kCalBuckets);
   }
   ~Engine();
   Engine(const Engine&) = delete;
@@ -59,7 +82,7 @@ class Engine {
       }
       t = now_;
     }
-    heap_push(Item{t, seq_++, h, profile_ctx_});
+    future_push(Item{t, seq_++, h, profile_ctx_});
   }
 
   /// Schedules `h` to resume at the current time, after already-queued
@@ -123,22 +146,45 @@ class Engine {
   /// never fires).
   int live_roots() const { return live_roots_; }
 
+  /// Internal: root_wrapper reports its own frame here when the root
+  /// completes; the run loop destroys it at the next dispatch boundary
+  /// (the frame is parked at final_suspend by then). Bounds peak frame
+  /// memory on long runs — finished roots no longer wait for a sweep.
+  void on_root_finished(std::coroutine_handle<> h) {
+    finished_roots_.push_back(h);
+  }
+
   // --- host-performance observability ---------------------------------
   /// Total resumptions dispatched by the run loop.
   uint64_t events_dispatched() const { return events_dispatched_; }
-  /// Dispatches served from the O(1) now ring (vs the binary heap).
+  /// Dispatches served from the O(1) now ring (vs calendar/heap).
   uint64_t now_ring_hits() const { return now_ring_hits_; }
+  /// Dispatches served from a matured calendar bucket (vs the heap).
+  uint64_t calendar_hits() const { return calendar_hits_; }
 
-  /// Disables the now ring so every event goes through the heap — the
-  /// pre-two-tier dispatch path. The schedule must be bit-identical
-  /// either way; perf_suite uses this as its in-process baseline and the
-  /// determinism regression test asserts the equivalence. Only call on a
-  /// quiescent engine (empty ring).
+  /// Disables the now ring so every event goes through the future tiers
+  /// — the pre-two-tier dispatch path. The schedule must be
+  /// bit-identical either way; perf_suite uses this as its in-process
+  /// baseline and the determinism regression test asserts the
+  /// equivalence. Only call on a quiescent engine (empty ring).
   void set_now_ring_enabled(bool enabled) {
     NVMECR_CHECK(ring_size_ == 0);
     now_ring_enabled_ = enabled;
   }
   bool now_ring_enabled() const { return now_ring_enabled_; }
+
+  /// Disables the calendar tier so every future event goes through the
+  /// binary heap — the pre-calendar dispatch path. Schedule-neutral by
+  /// construction (perf_determinism_test pins it); perf_suite's e2e
+  /// baseline arm runs with both this and the frame pool off. Only call
+  /// on a quiescent calendar (no calendar-resident events); toggling
+  /// resets the window so a stale limit can never misroute an insert.
+  void set_calendar_enabled(bool enabled) {
+    NVMECR_CHECK(cal_count_ == 0);
+    calendar_enabled_ = enabled;
+    cal_limit_ = 0;  // window re-engages on the next rotation
+  }
+  bool calendar_enabled() const { return calendar_enabled_; }
 
   /// Test hook: called once per dispatched event with (time, seq) before
   /// the resumption runs. Used by the determinism golden-trace test;
@@ -181,13 +227,20 @@ class Engine {
 
  private:
   static constexpr size_t kInitialCapacity = 256;
+  // Calendar geometry: 4096 ns buckets x 2048 buckets ≈ an 8.4 ms
+  // window, sized so a checkpoint epoch's fabric/SSD completions (µs to
+  // low ms ahead of now) land in buckets while rare long sleeps
+  // (health-monitor periods, PFS drains) overflow to the heap.
+  static constexpr int kCalShift = 14;        // log2(bucket width in ns)
+  static constexpr size_t kCalBuckets = 512;  // power of two
+  static constexpr size_t kCalWords = kCalBuckets / 64;
 
   struct Item {
     SimTime time;
     uint64_t seq;
     std::coroutine_handle<> handle;
     uint32_t ctx;  // profile context captured at schedule time
-    /// Min-heap order: earliest time first, FIFO within a time.
+    /// Min order: earliest time first, FIFO within a time.
     bool earlier_than(const Item& other) const {
       if (time != other.time) return time < other.time;
       return seq < other.seq;
@@ -219,7 +272,58 @@ class Engine {
     done = true;
   }
 
-  // --- intrusive binary min-heap over a reserve()d vector --------------
+  // --- future tiers: calendar + intrusive binary min-heap --------------
+  /// Routes a strictly-future (or clamped-to-now, ring-disabled) event
+  /// to the calendar when it falls inside the window, else to the heap.
+  void future_push(Item item) {
+    if (calendar_enabled_ && item.time < cal_limit_) {
+      cal_push(item);
+    } else {
+      heap_push(item);
+    }
+  }
+
+  /// Earliest future event across calendar + heap, or null when none.
+  /// Matures calendar buckets / rotates the window as a side effect, so
+  /// call it immediately before pop_future().
+  const Item* future_front() {
+    if (calendar_enabled_) {
+      if (cal_pos_ != cal_cur_.size()) return &cal_cur_[cal_pos_];
+      if (cal_count_ != 0 || !heap_.empty()) {
+        cal_settle();
+        if (cal_pos_ != cal_cur_.size()) return &cal_cur_[cal_pos_];
+      }
+    }
+    return heap_.empty() ? nullptr : &heap_.front();
+  }
+
+  /// Pops the event future_front() just returned.
+  Item pop_future() {
+    if (calendar_enabled_ && cal_pos_ != cal_cur_.size()) {
+      ++calendar_hits_;
+      --cal_count_;
+      return cal_cur_[cal_pos_++];
+    }
+    return heap_pop();
+  }
+
+  void cal_push(Item item) {
+    const int64_t b = item.time >> kCalShift;
+    if (b > cal_cur_bucket_) {
+      const size_t slot = static_cast<size_t>(b) & (kCalBuckets - 1);
+      cal_buckets_[slot].push_back(item);
+      cal_bitmap_[slot >> 6] |= 1ull << (slot & 63);
+      ++cal_count_;
+      return;
+    }
+    cal_insert_sorted(item);  // lands at/behind the drain cursor (rare)
+  }
+
+  void cal_settle();             // refill cal_cur_ from buckets / heap
+  void cal_mature_next();        // sort the next occupied bucket into cal_cur_
+  void cal_rotate();             // re-window onto the heap's earliest bucket
+  void cal_insert_sorted(Item item);
+
   // (std::priority_queue hides its container, which prevents reserving
   // and costs an extra indirection on the hottest host path.)
   void heap_push(Item item);
@@ -240,23 +344,40 @@ class Engine {
   void dispatch(SimTime t, uint64_t seq, std::coroutine_handle<> h,
                 uint32_t ctx, bool from_ring);
 
-  /// Destroys frames of completed root tasks (they park at final_suspend
-  /// with no continuation).
-  void reap_finished_roots();
+  /// Destroys root frames reported by on_root_finished() (parked at
+  /// final_suspend) and drops them from the live-root registry. Called
+  /// at the dispatch boundary; the run loop pays one emptiness branch.
+  void destroy_finished_roots();
 
   [[noreturn]] void die_deadlocked(const char* where) const;
 
-  std::vector<Item> heap_;          // binary min-heap, future timestamps
+  std::vector<Item> heap_;          // binary min-heap, beyond the window
   std::vector<Ready> ring_;         // power-of-two circular buffer
   size_t ring_head_ = 0;
   size_t ring_size_ = 0;
-  std::vector<std::coroutine_handle<>> pending_destroy_;
+  std::vector<std::coroutine_handle<>> pending_destroy_;  // live root frames
+  std::vector<std::coroutine_handle<>> finished_roots_;
+  // Calendar state. cal_cur_ is the sorted drain buffer for the bucket
+  // most recently matured (cal_cur_bucket_); cal_count_ counts every
+  // undispatched calendar-resident event (buckets + drain tail).
+  // cal_limit_ is the exclusive window end: heap times are always >= it.
+  // It starts at 0 (calendar disengaged) until the first rotation.
+  std::vector<std::vector<Item>> cal_buckets_;
+  uint64_t cal_bitmap_[kCalWords] = {};
+  std::vector<Item> cal_cur_;
+  size_t cal_pos_ = 0;
+  size_t cal_count_ = 0;
+  int64_t cal_base_bucket_ = 0;
+  int64_t cal_cur_bucket_ = -1;
+  SimTime cal_limit_ = 0;
   SimTime now_ = 0;
   uint64_t seq_ = 0;
   int live_roots_ = 0;
   bool now_ring_enabled_ = true;
+  bool calendar_enabled_ = true;
   uint64_t events_dispatched_ = 0;
   uint64_t now_ring_hits_ = 0;
+  uint64_t calendar_hits_ = 0;
   std::function<void(SimTime, uint64_t)> dispatch_probe_;
   DispatchProfiler* profiler_ = nullptr;      // not owned
   const TraceCollector* flight_ = nullptr;    // not owned

@@ -8,14 +8,41 @@
 //
 // Tasks are single-owner move-only handles; destroying a Task that never
 // ran destroys the coroutine frame.
+//
+// Frame pooling (DESIGN.md §11): a run allocates millions of short-lived
+// task frames (one per awaited sub-operation), which made the global
+// allocator the single hottest host cost in the e2e dispatch profile.
+// PromiseBase therefore routes frame storage through a process-wide
+// size-class freelist arena: slots are carved from 256 KiB slabs on
+// first use and recycled through per-class freelists forever after, so
+// steady-state frame churn never touches the global heap. The pool is
+// single-threaded like the rest of the simulation. Under AddressSanitizer
+// builds (-DNVMECR_SANITIZE=address) freed slots are poisoned so a
+// use-after-destroy of a frame still traps exactly as it would with the
+// global allocator.
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <utility>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define NVMECR_FRAME_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define NVMECR_FRAME_ASAN 1
+#endif
+#endif
+#ifndef NVMECR_FRAME_ASAN
+#define NVMECR_FRAME_ASAN 0
+#endif
+#if NVMECR_FRAME_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
 
 namespace nvmecr::sim {
 
@@ -28,6 +55,127 @@ namespace detail {
 /// single-threaded, so a plain counter suffices). Surfaced by the
 /// dispatch profiler: frame churn is a prime suspect for e2e slowdown.
 inline uint64_t g_frame_allocations = 0;
+/// Of those, how many were served from a pool freelist instead of the
+/// global allocator (a recycled slot).
+inline uint64_t g_frames_recycled = 0;
+/// Frames currently alive (allocated minus destroyed) — a cheap leak
+/// probe for tests: after an engine is torn down the delta must be zero.
+inline uint64_t g_frames_live = 0;
+/// Runtime kill switch (perf_suite's in-process baseline arm and the
+/// determinism tests flip it). Toggling is always safe mid-run: every
+/// allocation carries an origin header, so frames allocated under one
+/// setting are freed correctly under the other.
+inline bool g_frame_pooling = true;
+
+/// Size-class freelist arena for coroutine frames. Each slot is a
+/// 16-byte header (size class + freelist link) followed by the payload
+/// the coroutine frame lives in. Slabs are allocated once and retained
+/// for the life of the process (reachable from the pool, so LSan is
+/// happy); frames larger than the largest class — none exist today —
+/// fall through to the global allocator, tagged so deallocation routes
+/// correctly.
+class FramePool {
+ public:
+  static constexpr size_t kHeaderBytes = 16;
+  static constexpr size_t kGranularity = 64;     // class width, bytes
+  static constexpr size_t kMaxPooledBytes = 2048;
+  static constexpr size_t kClassCount = kMaxPooledBytes / kGranularity;
+  static constexpr size_t kSlabBytes = 256 * 1024;
+
+  void* allocate(size_t bytes) {
+    if (!g_frame_pooling || bytes > kMaxPooledBytes) {
+      return global_alloc(bytes);
+    }
+    const uint32_t cls =
+        static_cast<uint32_t>((bytes + kGranularity - 1) / kGranularity - 1);
+    Header* h = free_[cls];
+    if (h != nullptr) {
+      free_[cls] = h->next;
+      ++g_frames_recycled;
+      unpoison(payload(h), payload_bytes(cls));
+      return payload(h);
+    }
+    const size_t slot = kHeaderBytes + payload_bytes(cls);
+    if (static_cast<size_t>(slab_end_ - bump_) < slot) new_slab();
+    h = reinterpret_cast<Header*>(bump_);
+    bump_ += slot;
+    h->cls = cls;
+    return payload(h);
+  }
+
+  void deallocate(void* p) {
+    Header* h = header_of(p);
+    if (h->cls == kGlobalClass) {
+      ::operator delete(h);
+      return;
+    }
+    h->next = free_[h->cls];
+    free_[h->cls] = h;
+    poison(payload(h), payload_bytes(h->cls));
+  }
+
+ private:
+  struct Header {
+    uint32_t cls;  // size class index, or kGlobalClass
+    uint32_t reserved;
+    Header* next;  // freelist link, meaningful only while free
+  };
+  static_assert(sizeof(Header) == kHeaderBytes);
+  static constexpr uint32_t kGlobalClass = 0xffffffffu;
+
+  static size_t payload_bytes(uint32_t cls) {
+    return (static_cast<size_t>(cls) + 1) * kGranularity;
+  }
+  static Header* header_of(void* p) {
+    return reinterpret_cast<Header*>(static_cast<std::byte*>(p) -
+                                     kHeaderBytes);
+  }
+  static void* payload(Header* h) {
+    return reinterpret_cast<std::byte*>(h) + kHeaderBytes;
+  }
+
+  static void* global_alloc(size_t bytes) {
+    auto* h = static_cast<Header*>(::operator new(kHeaderBytes + bytes));
+    h->cls = kGlobalClass;
+    return payload(h);
+  }
+
+  void new_slab() {
+    // First pointer of a slab links to the previous slab; slabs are
+    // retained forever (steady-state frame churn stays in the arena).
+    void* slab = ::operator new(kSlabBytes);
+    *static_cast<void**>(slab) = slabs_;
+    slabs_ = slab;
+    bump_ = static_cast<std::byte*>(slab) + kHeaderBytes;
+    slab_end_ = static_cast<std::byte*>(slab) + kSlabBytes;
+  }
+
+  static void poison(void* p, size_t n) {
+#if NVMECR_FRAME_ASAN
+    __asan_poison_memory_region(p, n);
+#else
+    (void)p;
+    (void)n;
+#endif
+  }
+  static void unpoison(void* p, size_t n) {
+#if NVMECR_FRAME_ASAN
+    __asan_unpoison_memory_region(p, n);
+#else
+    (void)p;
+    (void)n;
+#endif
+  }
+
+  Header* free_[kClassCount] = {};
+  std::byte* bump_ = nullptr;
+  std::byte* slab_end_ = nullptr;
+  void* slabs_ = nullptr;
+};
+
+/// The process-wide pool. Constant-initialized, trivially destructible:
+/// safe to use from any static-lifetime coroutine.
+inline FramePool g_frame_pool;
 
 /// Common promise functionality: stores the continuation to resume when
 /// the task completes.
@@ -36,9 +184,17 @@ struct PromiseBase {
 
   static void* operator new(size_t bytes) {
     ++g_frame_allocations;
-    return ::operator new(bytes);
+    ++g_frames_live;
+    return g_frame_pool.allocate(bytes);
   }
-  static void operator delete(void* ptr) { ::operator delete(ptr); }
+  static void operator delete(void* ptr) {
+    --g_frames_live;
+    g_frame_pool.deallocate(ptr);
+  }
+  static void operator delete(void* ptr, size_t) {
+    --g_frames_live;
+    g_frame_pool.deallocate(ptr);
+  }
 
   struct FinalAwaiter {
     bool await_ready() noexcept { return false; }
@@ -81,6 +237,23 @@ struct Promise<void> : PromiseBase {
 /// Total coroutine frames ever allocated in this process (monotonic).
 /// Diff two readings to count frames created by a region of code.
 inline uint64_t frame_allocations() { return detail::g_frame_allocations; }
+
+/// Frames served from a pool freelist (recycled) rather than fresh arena
+/// or global-allocator storage. Monotonic; diff two readings.
+inline uint64_t frames_recycled() { return detail::g_frames_recycled; }
+
+/// Coroutine frames currently alive. A region that creates and fully
+/// drains tasks leaves this unchanged.
+inline uint64_t frames_live() { return detail::g_frames_live; }
+
+/// Enables/disables the frame pool for *future* allocations (frames
+/// already alive free back to wherever they came from). The baseline arm
+/// of bench/perf_suite and the determinism tests use this; pooling can
+/// never change simulated results, only host speed.
+inline void set_frame_pooling(bool enabled) {
+  detail::g_frame_pooling = enabled;
+}
+inline bool frame_pooling() { return detail::g_frame_pooling; }
 
 /// A lazily-started coroutine returning T. Await it exactly once.
 template <typename T = void>

@@ -2,10 +2,12 @@
 // suite, including AMG, Ember, ExaMiniMD, and miniAMR have similar
 // behavior and are likely to show similar improvements as CoMD."
 //
-// Runs every proxy-app preset (different state sizes, IO granularities,
-// duty cycles, load jitter) at 224 processes on NVMe-CR and GlusterFS
-// and reports the improvement factor — it should hold across the suite.
+// Runs every registered app profile (different state sizes, IO
+// granularities, duty cycles, load jitter — workloads/apps.h) at 224
+// processes on NVMe-CR and GlusterFS and reports the improvement factor
+// — it should hold across the suite.
 #include "bench_util.h"
+#include "workloads/apps.h"
 
 int main() {
   using namespace nvmecr;
@@ -15,8 +17,8 @@ int main() {
                "checkpoint efficiency across proxy apps (224 procs)");
   TablePrinter table({"app", "state/rank", "NVMe-CR eff", "GlusterFS eff",
                       "ckpt speedup", "progress NVMe-CR", "progress GlusterFS"});
-  for (const auto& preset : workloads::ecp_proxy_presets()) {
-    const ComdParams params = workloads::params_from_preset(preset, 224);
+  for (const auto& preset : workloads::app_registry()) {
+    const ComdParams params = workloads::io_params_for(preset, 224);
     const JobMetrics nv = run_nvmecr(params);
     const JobMetrics gl = run_dfs("GlusterFS", params);
     table.add_row(

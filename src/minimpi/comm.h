@@ -12,6 +12,7 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -48,6 +49,17 @@ class Comm {
   sim::Task<uint64_t> bcast(int rank, uint64_t value, int root) {
     auto all = co_await allgather(rank, value);
     co_return all[static_cast<size_t>(root)];
+  }
+
+  /// Collective: global sum of one double per rank (what the app
+  /// workloads' residual reductions need). Contributions travel as bit
+  /// patterns and are summed in rank order on every rank, so the result
+  /// is bit-identical regardless of arrival order.
+  sim::Task<double> allreduce_sum(int rank, double value) {
+    auto all = co_await allgather(rank, std::bit_cast<uint64_t>(value));
+    double sum = 0.0;
+    for (uint64_t w : all) sum += std::bit_cast<double>(w);
+    co_return sum;
   }
 
   /// Collective: partitions ranks by `color`; returns the caller's

@@ -30,6 +30,16 @@ class MultiLevelPolicy {
   uint32_t interval_;
 };
 
+/// One candidate restart source for a rank, tagged with the tier class
+/// it serves. Fast-tier-class sources (the live session, a failover
+/// view, a reconstruction client) can only serve checkpoints whose
+/// ledger entry is on the fast tier; PFS sources only PFS-routed ones.
+struct RestoreSource {
+  baselines::StorageClient* client = nullptr;
+  bool pfs_tier = false;
+  const char* label = "fast";
+};
+
 /// Routes checkpoint IO between the tiers per the policy. All clients
 /// belong to the same rank; the caller owns them.
 class MultiLevelRouter {
@@ -80,6 +90,22 @@ class MultiLevelRouter {
     if (failover_ != nullptr) chain.push_back(failover_);
     if (reconstructed_ != nullptr) chain.push_back(reconstructed_);
     chain.push_back(&pfs_);
+    return chain;
+  }
+
+  /// Tier-tagged variant for ledger-driven restart (workloads'
+  /// AppDriver). `pfs_tier` must match the checkpoint's recorded
+  /// placement before a source may be probed: the PFS model's
+  /// open_read cannot report ENOENT (it performs an MDS op and hands
+  /// out a fresh fd regardless of the path), so a blind probe against
+  /// the wrong tier would "succeed" on a checkpoint that was never
+  /// written there.
+  std::vector<RestoreSource> restore_chain() {
+    std::vector<RestoreSource> chain{{&fast_, false, "fast"}};
+    if (failover_ != nullptr) chain.push_back({failover_, false, "failover"});
+    if (reconstructed_ != nullptr)
+      chain.push_back({reconstructed_, false, "reconstructed"});
+    chain.push_back({&pfs_, true, "pfs"});
     return chain;
   }
 

@@ -1,0 +1,446 @@
+#include "workloads/apps.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/crc.h"
+#include "common/rng.h"
+
+namespace nvmecr::workloads {
+
+namespace {
+
+constexpr double kTiny = 1e-300;
+
+/// Denominator guards: CG freezes once a direction goes singular
+/// (converged to machine precision) instead of dividing by ~0.
+double safe_div(double num, double den) {
+  return den > kTiny || den < -kTiny ? num / den : 0.0;
+}
+
+/// Deterministic unit noise in [-1, 1): pure integer mixing, no RNG
+/// stream position to track across restarts.
+double unit_noise(uint64_t seed, uint64_t index) {
+  const uint64_t w = mix64(seed ^ mix64(index + 1));
+  return 2.0 * (static_cast<double>(w >> 11) * 0x1.0p-53) - 1.0;
+}
+
+// --- serialization helpers (raw in-process byte images) -------------------
+
+void put_u64(std::vector<std::byte>& out, uint64_t v) {
+  const size_t at = out.size();
+  out.resize(at + sizeof(v));
+  std::memcpy(out.data() + at, &v, sizeof(v));
+}
+
+void put_f64(std::vector<std::byte>& out, double v) {
+  uint64_t w;
+  std::memcpy(&w, &v, sizeof(w));
+  put_u64(out, w);
+}
+
+void put_f64_vec(std::vector<std::byte>& out, const std::vector<double>& v) {
+  for (double x : v) put_f64(out, x);
+}
+
+class ImageReader {
+ public:
+  explicit ImageReader(std::span<const std::byte> image) : image_(image) {}
+
+  bool u64(uint64_t* out) {
+    if (off_ + sizeof(*out) > image_.size()) return false;
+    std::memcpy(out, image_.data() + off_, sizeof(*out));
+    off_ += sizeof(*out);
+    return true;
+  }
+  bool f64(double* out) {
+    uint64_t w;
+    if (!u64(&w)) return false;
+    std::memcpy(out, &w, sizeof(*out));
+    return true;
+  }
+  bool f64_vec(std::vector<double>* out, size_t n) {
+    out->resize(n);
+    for (double& x : *out) {
+      if (!f64(&x)) return false;
+    }
+    return true;
+  }
+  bool exhausted() const { return off_ == image_.size(); }
+
+ private:
+  std::span<const std::byte> image_;
+  size_t off_ = 0;
+};
+
+Status truncated() {
+  return InvalidArgumentError("truncated or oversized app checkpoint image");
+}
+Status bad_header(const char* app) {
+  return InvalidArgumentError(std::string("checkpoint image is not a ") +
+                              app + " image for this rank");
+}
+
+uint64_t rank_digest_seed(uint64_t seed, uint32_t rank) {
+  return mix64(seed + 0x9E3779B97F4A7C15ull * (rank + 1));
+}
+
+uint64_t rank_stream_seed(uint64_t seed, uint64_t salt, uint32_t rank) {
+  return mix64(seed ^ salt) ^ (0xBF58476D1CE4E5B9ull * (rank + 1));
+}
+
+// --- miniFE-CG ------------------------------------------------------------
+//
+// Conjugate gradient over a block-diagonal SPD system: each rank owns an
+// independent tridiagonal block (diagonally dominant by construction),
+// but alpha/beta/rho are *global* scalars, so the solve is one global CG
+// whose convergence couples every rank. Epoch 0 bootstraps the global
+// rho = ||b||^2; each later epoch is one textbook two-reduction CG
+// iteration (pq = p'Ap, then rr = r'r).
+
+constexpr uint64_t kCgMagic = 0x43472D4D696E6946ull;  // "CG-MiniF"
+
+class CgState final : public AppRankState {
+ public:
+  CgState(uint32_t rank, uint32_t nranks, uint64_t seed, uint32_t n)
+      : AppRankState(rank_digest_seed(seed, rank)),
+        rank_(rank),
+        nranks_(nranks),
+        n_(n) {
+    Rng rng(rank_stream_seed(seed, 0xC61FEC61FEull, rank));
+    diag_.resize(n_);
+    off_.resize(n_);
+    b_.resize(n_);
+    for (uint32_t i = 0; i < n_; ++i) {
+      diag_[i] = 4.0 + 2.0 * rng.uniform01();
+      off_[i] = 0.5 * (2.0 * rng.uniform01() - 1.0);
+      b_[i] = 2.0 * rng.uniform01() - 1.0;
+    }
+    x_.assign(n_, 0.0);
+    r_ = b_;
+    p_.assign(n_, 0.0);
+    q_.assign(n_, 0.0);
+  }
+
+  double compute(uint32_t) override {
+    if (!bootstrapped_) return dot(r_, r_);
+    apply_a(p_, q_);
+    return dot(p_, q_);
+  }
+
+  double fold(uint32_t, double g1) override {
+    if (!bootstrapped_) {
+      rho_ = g1;
+      p_ = r_;
+      return 0.0;
+    }
+    const double alpha = safe_div(rho_, g1);
+    for (uint32_t i = 0; i < n_; ++i) {
+      x_[i] += alpha * p_[i];
+      r_[i] -= alpha * q_[i];
+    }
+    return dot(r_, r_);
+  }
+
+  double finish(uint32_t, double g2) override {
+    ++t_;
+    if (!bootstrapped_) {
+      bootstrapped_ = true;
+      return std::sqrt(rho_ > 0.0 ? rho_ : 0.0);
+    }
+    const double beta = safe_div(g2, rho_);
+    rho_ = g2;
+    for (uint32_t i = 0; i < n_; ++i) p_[i] = r_[i] + beta * p_[i];
+    return std::sqrt(g2 > 0.0 ? g2 : 0.0);
+  }
+
+  void serialize(std::vector<std::byte>& out) const override {
+    put_u64(out, kCgMagic);
+    put_u64(out, (static_cast<uint64_t>(rank_) << 32) | nranks_);
+    put_u64(out, (static_cast<uint64_t>(n_) << 32) | t_);
+    put_u64(out, bootstrapped_ ? 1 : 0);
+    put_f64(out, rho_);
+    put_f64_vec(out, x_);
+    put_f64_vec(out, r_);
+    put_f64_vec(out, p_);
+  }
+
+  Status deserialize(std::span<const std::byte> image) override {
+    ImageReader rd(image);
+    uint64_t magic, ids, dims, boot;
+    if (!rd.u64(&magic) || !rd.u64(&ids) || !rd.u64(&dims) || !rd.u64(&boot))
+      return truncated();
+    if (magic != kCgMagic ||
+        ids != ((static_cast<uint64_t>(rank_) << 32) | nranks_) ||
+        (dims >> 32) != n_)
+      return bad_header("miniFE-CG");
+    t_ = static_cast<uint32_t>(dims);
+    bootstrapped_ = boot != 0;
+    if (!rd.f64(&rho_) || !rd.f64_vec(&x_, n_) || !rd.f64_vec(&r_, n_) ||
+        !rd.f64_vec(&p_, n_) || !rd.exhausted())
+      return truncated();
+    return OkStatus();
+  }
+
+ private:
+  double dot(const std::vector<double>& a, const std::vector<double>& b) {
+    double s = 0.0;
+    for (uint32_t i = 0; i < n_; ++i) s += a[i] * b[i];
+    return s;
+  }
+  void apply_a(const std::vector<double>& v, std::vector<double>& out) {
+    for (uint32_t i = 0; i < n_; ++i) {
+      double y = diag_[i] * v[i];
+      if (i > 0) y += off_[i - 1] * v[i - 1];
+      if (i + 1 < n_) y += off_[i] * v[i + 1];
+      out[i] = y;
+    }
+  }
+
+  uint32_t rank_, nranks_, n_;
+  // Static mesh (regenerated from the seed; never serialized).
+  std::vector<double> diag_, off_, b_;
+  // Dynamic solver state (the checkpoint image).
+  std::vector<double> x_, r_, p_;
+  double rho_ = 0.0;
+  uint32_t t_ = 0;
+  bool bootstrapped_ = false;
+  // Per-epoch scratch (recomputed inside each epoch; never persisted).
+  std::vector<double> q_;
+};
+
+// --- NPB-SP ---------------------------------------------------------------
+//
+// Time-stepped stencil: every epoch applies one uniform diffusion sweep
+// (periodic within the rank) plus a small deterministic forcing term and
+// a relaxation toward the *global* mean (the cross-rank coupling).
+// Residual = global RMS of the per-step delta.
+
+constexpr uint64_t kSpMagic = 0x53502D4E50422121ull;  // "SP-NPB!!"
+
+class SpState final : public AppRankState {
+ public:
+  SpState(uint32_t rank, uint32_t nranks, uint64_t seed, uint32_t n)
+      : AppRankState(rank_digest_seed(seed, rank)),
+        rank_(rank),
+        nranks_(nranks),
+        n_(n),
+        noise_seed_(rank_stream_seed(seed, 0x5BAD5EEDull, rank)) {
+    Rng rng(rank_stream_seed(seed, 0x5B57A7Eull, rank));
+    u_.resize(n_);
+    for (double& x : u_) x = 2.0 * rng.uniform01() - 1.0;
+    du_.assign(n_, 0.0);
+  }
+
+  double compute(uint32_t) override {
+    double sum = 0.0;
+    for (uint32_t i = 0; i < n_; ++i) {
+      const double left = u_[i == 0 ? n_ - 1 : i - 1];
+      const double right = u_[i + 1 == n_ ? 0 : i + 1];
+      du_[i] = 0.25 * (left - 2.0 * u_[i] + right) +
+               0.001 * unit_noise(noise_seed_,
+                                  static_cast<uint64_t>(t_) * n_ + i);
+      sum += u_[i];
+    }
+    return sum;
+  }
+
+  double fold(uint32_t, double g1) override {
+    const double mean = g1 / (static_cast<double>(n_) * nranks_);
+    double s = 0.0;
+    for (uint32_t i = 0; i < n_; ++i) {
+      u_[i] += du_[i] + 0.02 * (mean - u_[i]);
+      s += du_[i] * du_[i];
+    }
+    return s;
+  }
+
+  double finish(uint32_t, double g2) override {
+    ++t_;
+    const double ms = g2 / (static_cast<double>(n_) * nranks_);
+    return std::sqrt(ms > 0.0 ? ms : 0.0);
+  }
+
+  void serialize(std::vector<std::byte>& out) const override {
+    put_u64(out, kSpMagic);
+    put_u64(out, (static_cast<uint64_t>(rank_) << 32) | nranks_);
+    put_u64(out, (static_cast<uint64_t>(n_) << 32) | t_);
+    put_f64_vec(out, u_);
+  }
+
+  Status deserialize(std::span<const std::byte> image) override {
+    ImageReader rd(image);
+    uint64_t magic, ids, dims;
+    if (!rd.u64(&magic) || !rd.u64(&ids) || !rd.u64(&dims))
+      return truncated();
+    if (magic != kSpMagic ||
+        ids != ((static_cast<uint64_t>(rank_) << 32) | nranks_) ||
+        (dims >> 32) != n_)
+      return bad_header("NPB-SP");
+    t_ = static_cast<uint32_t>(dims);
+    if (!rd.f64_vec(&u_, n_) || !rd.exhausted()) return truncated();
+    du_.assign(n_, 0.0);
+    return OkStatus();
+  }
+
+ private:
+  uint32_t rank_, nranks_, n_;
+  uint64_t noise_seed_;
+  std::vector<double> u_;   // dynamic grid (the checkpoint image)
+  std::vector<double> du_;  // per-epoch delta (scratch, recomputed)
+  uint32_t t_ = 0;
+};
+
+// --- CoMD -----------------------------------------------------------------
+//
+// Particles under springs to deterministic anchors with a small forcing
+// kick; a global kinetic-energy thermostat (the cross-rank coupling)
+// rescales velocities toward a target temperature every epoch.
+// Residual = global RMS radius.
+
+constexpr uint64_t kMdMagic = 0x4D442D436F4D4421ull;  // "MD-CoMD!"
+
+class MdState final : public AppRankState {
+ public:
+  MdState(uint32_t rank, uint32_t nranks, uint64_t seed, uint32_t n)
+      : AppRankState(rank_digest_seed(seed, rank)),
+        rank_(rank),
+        nranks_(nranks),
+        n_(n),
+        noise_seed_(rank_stream_seed(seed, 0xC03DBADull, rank)) {
+    Rng rng(rank_stream_seed(seed, 0xC03D1417ull, rank));
+    pos_.resize(n_);
+    vel_.resize(n_);
+    anchor_.resize(n_);
+    for (uint32_t i = 0; i < n_; ++i) {
+      pos_[i] = 2.0 * rng.uniform01() - 1.0;
+      vel_[i] = 0.1 * (2.0 * rng.uniform01() - 1.0);
+      anchor_[i] = 2.0 * rng.uniform01() - 1.0;
+    }
+  }
+
+  double compute(uint32_t) override {
+    double ke = 0.0;
+    for (uint32_t i = 0; i < n_; ++i) {
+      const double f = -(pos_[i] - anchor_[i]) +
+                       0.01 * unit_noise(noise_seed_,
+                                         static_cast<uint64_t>(t_) * n_ + i);
+      vel_[i] += kDt * f;
+      ke += vel_[i] * vel_[i];
+    }
+    return ke;
+  }
+
+  double fold(uint32_t, double g1) override {
+    const double target = 0.01 * static_cast<double>(n_) * nranks_;
+    const double scale = g1 > kTiny ? std::sqrt(target / g1) : 1.0;
+    const double lambda = 1.0 + 0.1 * (scale - 1.0);
+    double s = 0.0;
+    for (uint32_t i = 0; i < n_; ++i) {
+      vel_[i] *= lambda;
+      pos_[i] += kDt * vel_[i];
+      s += pos_[i] * pos_[i];
+    }
+    return s;
+  }
+
+  double finish(uint32_t, double g2) override {
+    ++t_;
+    const double ms = g2 / (static_cast<double>(n_) * nranks_);
+    return std::sqrt(ms > 0.0 ? ms : 0.0);
+  }
+
+  void serialize(std::vector<std::byte>& out) const override {
+    put_u64(out, kMdMagic);
+    put_u64(out, (static_cast<uint64_t>(rank_) << 32) | nranks_);
+    put_u64(out, (static_cast<uint64_t>(n_) << 32) | t_);
+    put_f64_vec(out, pos_);
+    put_f64_vec(out, vel_);
+  }
+
+  Status deserialize(std::span<const std::byte> image) override {
+    ImageReader rd(image);
+    uint64_t magic, ids, dims;
+    if (!rd.u64(&magic) || !rd.u64(&ids) || !rd.u64(&dims))
+      return truncated();
+    if (magic != kMdMagic ||
+        ids != ((static_cast<uint64_t>(rank_) << 32) | nranks_) ||
+        (dims >> 32) != n_)
+      return bad_header("CoMD");
+    t_ = static_cast<uint32_t>(dims);
+    if (!rd.f64_vec(&pos_, n_) || !rd.f64_vec(&vel_, n_) || !rd.exhausted())
+      return truncated();
+    return OkStatus();
+  }
+
+ private:
+  static constexpr double kDt = 0.05;
+
+  uint32_t rank_, nranks_, n_;
+  uint64_t noise_seed_;
+  std::vector<double> pos_, vel_;  // dynamic (the checkpoint image)
+  std::vector<double> anchor_;     // static, regenerated from the seed
+  uint32_t t_ = 0;
+};
+
+}  // namespace
+
+uint64_t AppRankState::digest() const {
+  std::vector<std::byte> buf;
+  serialize(buf);
+  return crc64(buf.data(), buf.size(), digest_seed_);
+}
+
+const std::vector<AppSpec>& app_registry() {
+  // The restart-verification trio first, then the remaining §IV-A ECP
+  // profiles mapped onto the nearest modeled shape (AMG is a solver,
+  // Ember/miniAMR are stencil/grid codes, ExaMiniMD is MD).
+  static const std::vector<AppSpec> kApps = {
+      // name          kind           state/rank chunk    compute           jitter
+      {"CoMD", AppKind::kComd, 156_MiB, 4_MiB, 2900 * kMillisecond, 0.03},
+      {"miniFE-CG", AppKind::kCg, 112_MiB, 2_MiB, 2400 * kMillisecond, 0.05},
+      {"NPB-SP", AppKind::kSp, 80_MiB, 1_MiB, 2000 * kMillisecond, 0.06},
+      {"AMG", AppKind::kCg, 96_MiB, 2_MiB, 2200 * kMillisecond, 0.08},
+      {"Ember", AppKind::kSp, 48_MiB, 1_MiB, 1500 * kMillisecond, 0.02},
+      {"ExaMiniMD", AppKind::kComd, 128_MiB, 4_MiB, 2600 * kMillisecond, 0.04},
+      {"miniAMR", AppKind::kSp, 64_MiB, 512_KiB, 1800 * kMillisecond, 0.12},
+  };
+  return kApps;
+}
+
+const AppSpec* find_app(std::string_view name) {
+  for (const AppSpec& spec : app_registry()) {
+    if (name == spec.name) return &spec;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<AppRankState> make_rank_state(const AppSpec& spec,
+                                              uint32_t rank, uint32_t nranks,
+                                              uint64_t seed, uint32_t elems) {
+  NVMECR_CHECK(elems > 1);
+  switch (spec.kind) {
+    case AppKind::kComd:
+      return std::make_unique<MdState>(rank, nranks, seed, elems);
+    case AppKind::kCg:
+      return std::make_unique<CgState>(rank, nranks, seed, elems);
+    case AppKind::kSp:
+      return std::make_unique<SpState>(rank, nranks, seed, elems);
+  }
+  return nullptr;
+}
+
+ComdParams io_params_for(const AppSpec& spec, uint32_t nranks) {
+  ComdParams p;
+  p.nranks = nranks;
+  p.procs_per_node = 28;
+  p.bytes_per_atom = 512;
+  p.atoms_per_rank = spec.bytes_per_rank / p.bytes_per_atom;
+  p.io_chunk = spec.io_chunk;
+  p.compute_per_period = spec.compute_per_period;
+  p.compute_jitter = spec.jitter;
+  p.checkpoints = 5;
+  return p;
+}
+
+}  // namespace nvmecr::workloads

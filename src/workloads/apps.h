@@ -1,0 +1,128 @@
+// Application workload family (DESIGN.md §16).
+//
+// The paper evaluates NVMe-CR against CoMD-style checkpoint streams
+// only; the miniFE/NPB checkpoint exemplars set a stronger bar — a
+// restarted run must *reproduce the same residual* and pass
+// verification, not merely land bytes on flash. This module provides
+// the application side of that bar: small deterministic solver states
+// (one per rank) whose per-epoch evolution couples all ranks through
+// global reductions, so any restore corruption anywhere perturbs every
+// rank's digest and every subsequent residual.
+//
+// Three shapes, sharing one epoch protocol:
+//   * miniFE-CG  — conjugate-gradient solve over a per-rank SPD
+//     tridiagonal block; large static mesh (matrix + rhs, regenerated
+//     from the seed, never serialized) and small dynamic vectors
+//     (x, r, p and the global rho scalar). Residual = ||r||.
+//   * NPB-SP     — time-stepped stencil: uniform per-step diffusion
+//     update plus relaxation toward the global mean. Residual = RMS of
+//     the per-step delta.
+//   * CoMD       — particle positions/velocities under anchored springs
+//     with a global kinetic-energy thermostat. Residual = RMS radius.
+//
+// The epoch protocol is exactly two global sum-reductions (what
+// minimpi::Comm::allreduce_sum provides):
+//
+//   l1 = state.compute(epoch)        // local phase-1 contribution
+//   g1 = allreduce_sum(l1)
+//   l2 = state.fold(epoch, g1)       // apply g1, local phase-2 term
+//   g2 = allreduce_sum(l2)
+//   res = state.finish(epoch, g2)    // apply g2 -> epoch residual
+//
+// All arithmetic is plain IEEE double +,*,/,sqrt in a fixed order, so
+// the residual stream and the serialized state are bit-reproducible:
+// the digest contract is CRC64 over the serialized dynamic state,
+// seeded per rank, and restart verification is digest equality plus
+// residual-at-epoch-N bit-equality against an uninterrupted golden run.
+//
+// The registry below replaces the old ComdParams-only ProxyAppPreset
+// table: every app (the three modeled shapes plus the ECP profile-only
+// presets mapped onto them) is selected by name, carries its IO/compute
+// profile, and can mint per-rank solver states.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "workloads/comd.h"
+
+namespace nvmecr::workloads {
+
+using namespace nvmecr::literals;
+
+/// One rank's share of an application's solution state. Construction is
+/// deterministic in (rank, nranks, seed, elems); the dynamic part round-
+/// trips through serialize/deserialize and is fingerprinted by digest().
+class AppRankState {
+ public:
+  virtual ~AppRankState() = default;
+
+  /// Phase 1 of epoch `epoch`: advance local state, return this rank's
+  /// contribution to the first global sum.
+  virtual double compute(uint32_t epoch) = 0;
+  /// Phase 2: apply the first global sum, return the contribution to
+  /// the second.
+  virtual double fold(uint32_t epoch, double global1) = 0;
+  /// Epoch end: apply the second global sum, return the epoch residual
+  /// (identical on every rank — it is a function of global scalars).
+  virtual double finish(uint32_t epoch, double global2) = 0;
+
+  /// Appends the dynamic state (checkpoint image) to `out`.
+  virtual void serialize(std::vector<std::byte>& out) const = 0;
+  /// Restores the dynamic state from a serialize() image.
+  virtual Status deserialize(std::span<const std::byte> image) = 0;
+
+  /// CRC64 over the serialized dynamic state, seeded per rank.
+  uint64_t digest() const;
+  uint64_t digest_seed() const { return digest_seed_; }
+
+ protected:
+  explicit AppRankState(uint64_t digest_seed) : digest_seed_(digest_seed) {}
+
+ private:
+  uint64_t digest_seed_;
+};
+
+/// The modeled state-evolution shapes. ECP presets without a dedicated
+/// model reuse the closest shape (solver / stencil / particles) with
+/// their own IO + duty-cycle profile.
+enum class AppKind : uint8_t { kComd, kCg, kSp };
+
+/// Registry entry: name, modeled shape, and the §IV-A IO/compute
+/// profile (state per rank, dump granularity, timestep duty cycle,
+/// load jitter) that sizes the simulated checkpoint streams.
+struct AppSpec {
+  const char* name;
+  AppKind kind;
+  uint64_t bytes_per_rank;         // serialized state per checkpoint
+  uint64_t io_chunk;               // dump stream granularity
+  SimDuration compute_per_period;  // timestepping between checkpoints
+  double jitter;                   // load imbalance across ranks
+};
+
+/// Every registered application, modeled shapes first (CoMD, miniFE-CG,
+/// NPB-SP — the restart-verification trio), then the remaining ECP
+/// proxy-suite profiles (§IV-A: AMG, Ember, ExaMiniMD, miniAMR).
+const std::vector<AppSpec>& app_registry();
+
+/// Lookup by name (exact match); nullptr when unknown.
+const AppSpec* find_app(std::string_view name);
+
+/// Mints rank `rank`'s solver state for `spec`'s shape. `elems` is the
+/// dynamic problem size per rank in doubles — the *real* computed state,
+/// deliberately decoupled from the simulated checkpoint size
+/// (spec.bytes_per_rank), which models the full serialized image.
+std::unique_ptr<AppRankState> make_rank_state(const AppSpec& spec,
+                                              uint32_t rank, uint32_t nranks,
+                                              uint64_t seed, uint32_t elems);
+
+/// ComdParams (IO sizes, duty cycle) for `spec` at the given scale —
+/// the same numbers the old params_from_preset produced.
+ComdParams io_params_for(const AppSpec& spec, uint32_t nranks);
+
+}  // namespace nvmecr::workloads

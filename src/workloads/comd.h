@@ -135,45 +135,11 @@ struct JobMetrics {
   }
 };
 
-/// Presets for the other ECP proxy applications the paper names as
-/// behaving like CoMD (§IV-A: "Most applications in the ECP application
-/// suite, including AMG, Ember, ExaMiniMD, and miniAMR have similar
-/// behavior"). They differ in state size per rank, IO granularity, and
-/// compute/checkpoint duty cycle — the N-N pattern is common to all.
-struct ProxyAppPreset {
-  const char* name;
-  uint64_t bytes_per_rank;        // serialized state per checkpoint
-  uint64_t io_chunk;              // dump stream granularity
-  SimDuration compute_per_period; // timestepping between checkpoints
-  double jitter;                  // load imbalance across ranks
-};
-
-inline std::vector<ProxyAppPreset> ecp_proxy_presets() {
-  using namespace nvmecr::literals;
-  return {
-      // name        state/rank   chunk   compute        jitter
-      {"CoMD",       156_MiB,     4_MiB,  2900 * kMillisecond, 0.03},
-      {"AMG",        96_MiB,      2_MiB,  2200 * kMillisecond, 0.08},
-      {"Ember",      48_MiB,      1_MiB,  1500 * kMillisecond, 0.02},
-      {"ExaMiniMD",  128_MiB,     4_MiB,  2600 * kMillisecond, 0.04},
-      {"miniAMR",    64_MiB,      512_KiB, 1800 * kMillisecond, 0.12},
-  };
-}
-
-/// ComdParams configured from a preset at the given scale.
-inline ComdParams params_from_preset(const ProxyAppPreset& preset,
-                                     uint32_t nranks) {
-  ComdParams p;
-  p.nranks = nranks;
-  p.procs_per_node = 28;
-  p.bytes_per_atom = 512;
-  p.atoms_per_rank = preset.bytes_per_rank / p.bytes_per_atom;
-  p.io_chunk = preset.io_chunk;
-  p.compute_per_period = preset.compute_per_period;
-  p.compute_jitter = preset.jitter;
-  p.checkpoints = 5;
-  return p;
-}
+// The ECP proxy-app presets (§IV-A: AMG, Ember, ExaMiniMD, miniAMR, ...)
+// used to live here as CoMD-shaped ProxyAppPreset profiles. They moved
+// into the application registry — workloads/apps.h: app_registry(),
+// find_app(), io_params_for() — where each preset also carries a modeled
+// state-evolution shape for restart verification.
 
 class ComdDriver {
  public:

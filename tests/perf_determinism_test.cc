@@ -14,6 +14,7 @@
 #include "obs/profile.h"
 #include "offload/pipeline.h"
 #include "simcore/profile.h"
+#include "workloads/apps.h"
 #include "workloads/comd.h"
 
 namespace nvmecr {
@@ -174,6 +175,26 @@ TEST(PerfDeterminismTest, FramePoolingDoesNotPerturbSchedule) {
       run_fingerprinted(true, 28, 2, /*profiled=*/false, OffloadMode::kNone,
                         /*calendar_enabled=*/true, /*frame_pooling=*/false);
   EXPECT_EQ(pooled, unpooled);
+}
+
+TEST(PerfDeterminismTest, RegistryPresetsReproduceLegacyIoProfiles) {
+  // The ProxyAppPreset table moved into the application registry
+  // (workloads/apps.h) when the AppDriver restart harness landed. Pin
+  // the CoMD profile the registry hands out to the exact numbers the
+  // legacy params_from_preset produced — the AppDriver refactor left
+  // ComdDriver and the golden schedule fingerprint below bit-identical,
+  // and this keeps the registry from drifting under it.
+  const workloads::AppSpec* comd = workloads::find_app("CoMD");
+  ASSERT_NE(comd, nullptr);
+  const ComdParams p = workloads::io_params_for(*comd, 224);
+  EXPECT_EQ(p.nranks, 224u);
+  EXPECT_EQ(p.procs_per_node, 28u);
+  EXPECT_EQ(p.bytes_per_atom, 512u);
+  EXPECT_EQ(p.atoms_per_rank, (156ull << 20) / 512u);
+  EXPECT_EQ(p.io_chunk, 4ull << 20);
+  EXPECT_EQ(p.compute_per_period, 2900 * kMillisecond);
+  EXPECT_DOUBLE_EQ(p.compute_jitter, 0.03);
+  EXPECT_EQ(p.checkpoints, 5u);
 }
 
 TEST(PerfDeterminismTest, GoldenScheduleFingerprint) {

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "chaos/campaign.h"
 #include "common/crc.h"
 #include "common/rng.h"
 #include "hw/payload_store.h"
@@ -682,6 +683,23 @@ int main(int argc, char** argv) {
               deg.overhead_ratio,
               static_cast<unsigned long long>(deg.failovers));
 
+  // Chaos campaign absorption: fraction of seeded failure schedules the
+  // resilient stack carries to digest-identical completion. A model
+  // property like `degraded`, so informational, not gated (DESIGN.md
+  // §17; bench/ext_chaos runs the full interval sweep).
+  const uint32_t campaign_n = quick ? 6 : 16;
+  std::printf("[campaign] chaos survival, %u pinned-seed schedules...\n",
+              campaign_n);
+  chaos::CampaignRunner campaign{chaos::CampaignConfig{}};
+  const chaos::CampaignResult camp =
+      campaign.run_campaign(campaign_n, /*shrink=*/false);
+  const double campaign_eff =
+      camp.runs > 0 ? static_cast<double>(camp.completed) / camp.runs : 0;
+  std::printf("[campaign] %u/%u completed digest-identical, %u typed "
+              "failures, %u violations\n",
+              camp.completed, camp.runs, camp.typed_failures,
+              camp.hangs + camp.corruptions + camp.divergences + camp.infra);
+
   // BENCH_PERF.json: one flat key/value list drives both the JSON file
   // and the --check delta table, so adding a metric is a one-liner.
   const std::vector<std::pair<std::string, double>> results = {
@@ -711,6 +729,7 @@ int main(int argc, char** argv) {
       {"e2e.payload_tag_reads", static_cast<double>(e2e.tag_reads)},
       {"e2e.fabric_bytes", static_cast<double>(e2e.fabric_bytes)},
       {"e2e.sim_efficiency", e2e.sim_efficiency},
+      {"campaign.efficiency", campaign_eff},
       {"obs.disabled_overhead_frac", ovh.disabled_frac},
       {"obs.profile_overhead_frac", ovh.profiled_frac},
       {"offload.disabled_overhead_frac", off.disabled_frac},

@@ -12,7 +12,11 @@
 // --app all runs the three modeled shapes (CoMD, miniFE-CG, NPB-SP);
 // --kill-point all runs the whole kill-point matrix. A golden-vs-
 // restored residual table is written to --csv (CI uploads it as an
-// artifact). Exits nonzero on any divergence.
+// artifact). Exits with the unified chaos codes (chaos/campaign.h):
+// 0 all scenarios verified, 1 infra, 2 usage, 3 a run failed with a
+// typed error, 5 restored digests/residuals diverged from golden; the
+// matrix keeps going and reports the worst code seen.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +25,7 @@
 #include <vector>
 
 #include "baselines/models.h"
+#include "chaos/campaign.h"
 #include "nvmecr/runtime.h"
 #include "workloads/app_driver.h"
 #include "workloads/apps.h"
@@ -54,7 +59,7 @@ int usage(const char* argv0) {
                "          [--kill-epoch K] [--kill-point before|mid|after|all]\n"
                "          [--path fast|pfs] [--seed N] [--csv FILE]\n",
                argv0);
-  return 2;
+  return chaos::kExitUsage;
 }
 
 /// One self-contained simulation stack. Golden and killed runs each get
@@ -83,7 +88,7 @@ struct Stack {
     if (!j.ok()) {
       std::fprintf(stderr, "allocate failed: %s\n",
                    j.status().to_string().c_str());
-      std::exit(1);
+      std::exit(chaos::kExitInfra);
     }
     job = *j;
     fast.emplace(cluster, *job, nvmecr_rt::RuntimeConfig{});
@@ -109,8 +114,14 @@ AppRunParams scenario_params(const AppSpec& spec, const Cli& cli,
   return p;
 }
 
+/// Maps a failed run's Status to the unified exit-code class.
+int failure_code(const Status& st) {
+  return st.code() == ErrorCode::kDeadlineExceeded ? chaos::kExitHang
+                                                   : chaos::kExitTypedFailure;
+}
+
 /// Golden run, killed run, restore through the chosen path, verify.
-/// Returns 0 on bit-identical digests + residuals.
+/// Returns kExitOk on bit-identical digests + residuals.
 int run_scenario(const AppSpec& spec, KillPoint point, const Cli& cli,
                  std::FILE* csv) {
   const bool with_pfs = cli.path == "pfs";
@@ -128,7 +139,7 @@ int run_scenario(const AppSpec& spec, KillPoint point, const Cli& cli,
   if (!golden.ok()) {
     std::fprintf(stderr, "FAIL: golden run: %s\n",
                  golden.status().to_string().c_str());
-    return 1;
+    return failure_code(golden.status());
   }
 
   Stack stack(cli.ranks, with_pfs);
@@ -142,7 +153,7 @@ int run_scenario(const AppSpec& spec, KillPoint point, const Cli& cli,
   if (!killed.ok()) {
     std::fprintf(stderr, "FAIL: killed run: %s\n",
                  killed.status().to_string().c_str());
-    return 1;
+    return failure_code(killed.status());
   }
 
   RestorePlan plan;
@@ -159,7 +170,7 @@ int run_scenario(const AppSpec& spec, KillPoint point, const Cli& cli,
   if (!restored.ok()) {
     std::fprintf(stderr, "FAIL: restart: %s\n",
                  restored.status().to_string().c_str());
-    return 1;
+    return failure_code(restored.status());
   }
   if (restored->from_initial) {
     std::printf("no committed checkpoint: restarted from initial state\n");
@@ -193,12 +204,12 @@ int run_scenario(const AppSpec& spec, KillPoint point, const Cli& cli,
   const Status st = workloads::verify_restart(*golden, *restored);
   if (!st.ok()) {
     std::fprintf(stderr, "FAIL: %s\n", st.to_string().c_str());
-    return 1;
+    return chaos::kExitDivergence;
   }
   std::printf("OK: job digest %016llx matches golden (%u ranks)\n\n",
               static_cast<unsigned long long>(restored->job_digest),
               cli.ranks);
-  return 0;
+  return chaos::kExitOk;
 }
 
 }  // namespace
@@ -248,7 +259,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, " %s", s.name);
       }
       std::fprintf(stderr, "\n");
-      return 2;
+      return chaos::kExitUsage;
     }
     apps.push_back(spec);
   }
@@ -274,11 +285,12 @@ int main(int argc, char** argv) {
                  "restored_residual\n");
   }
 
-  int rc = 0;
+  int rc = chaos::kExitOk;
   int scenarios = 0;
   for (const AppSpec* spec : apps) {
     for (KillPoint point : points) {
-      rc |= run_scenario(*spec, point, cli, csv);
+      // Keep the worst outcome class: divergence dominates typed failure.
+      rc = std::max(rc, run_scenario(*spec, point, cli, csv));
       ++scenarios;
     }
   }
@@ -286,7 +298,8 @@ int main(int argc, char** argv) {
     std::fclose(csv);
     std::printf("residual table: %s\n", cli.csv.c_str());
   }
-  std::printf(rc == 0 ? "restart verification: %d/%d scenarios OK\n"
+  std::printf(rc == chaos::kExitOk
+                  ? "restart verification: %d/%d scenarios OK\n"
                       : "restart verification: FAILURES in %d scenarios\n",
               scenarios, scenarios);
   return rc;

@@ -1,0 +1,435 @@
+#include "chaos/campaign.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "nvmecr/runtime.h"
+#include "redundancy/engine.h"
+#include "resilience/failover.h"
+#include "resilience/health.h"
+#include "resilience/retry.h"
+#include "workloads/apps.h"
+
+namespace nvmecr::chaos {
+
+using namespace nvmecr::literals;
+using workloads::AppDriver;
+using workloads::AppRunParams;
+using workloads::AppRunResult;
+using workloads::AppSpec;
+using workloads::KillSpec;
+using workloads::RestorePlan;
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kCompleted: return "completed";
+    case Verdict::kTypedFailure: return "typed-failure";
+    case Verdict::kHang: return "hang";
+    case Verdict::kCorruption: return "corruption";
+    case Verdict::kDivergence: return "divergence";
+    case Verdict::kInfra: return "infra";
+  }
+  return "?";
+}
+
+int verdict_exit_code(Verdict v) {
+  switch (v) {
+    case Verdict::kCompleted: return kExitOk;
+    case Verdict::kTypedFailure: return kExitTypedFailure;
+    case Verdict::kHang: return kExitHang;
+    case Verdict::kCorruption: return kExitCorruption;
+    case Verdict::kDivergence: return kExitDivergence;
+    case Verdict::kInfra: return kExitInfra;
+  }
+  return kExitInfra;
+}
+
+CampaignConfig::CampaignConfig() {
+  // Default chaos mix, tuned so a 100 ms horizon sees a couple of crash-
+  // class events per schedule plus background noise (flaps, stragglers),
+  // with occasional quiet schedules and occasional pile-ups.
+  base.seed = 1;
+  base.horizon = 100 * kMillisecond;
+  base.storage_nodes = 8;
+  base.racks = 4;
+  base.epochs = epochs;
+  base.target = {MtbfDist::kExponential, 400.0 * kMillisecond, 0.7, 0.85,
+                 15.0 * kMillisecond};
+  base.ssd = {MtbfDist::kWeibull, 900.0 * kMillisecond, 0.7, 0.9,
+              12.0 * kMillisecond};
+  base.link = {MtbfDist::kExponential, 700.0 * kMillisecond, 0.7, 1.0,
+               2.0 * kMillisecond};
+  base.straggler = {MtbfDist::kExponential, 400.0 * kMillisecond, 0.7, 1.0,
+                    5.0 * kMillisecond};
+  base.partition = {MtbfDist::kExponential, 2'000.0 * kMillisecond, 0.7, 1.0,
+                    4.0 * kMillisecond};
+  base.rack_burst_prob = 0.10;
+  base.cascade_prob = 0.15;
+  base.job_kill_prob = 0.6;
+}
+
+CampaignRunner::CampaignRunner(CampaignConfig cfg) : cfg_(std::move(cfg)) {
+  cfg_.base.epochs = cfg_.epochs;
+}
+
+ScheduleParams CampaignRunner::schedule_params(uint32_t index) const {
+  ScheduleParams p = cfg_.base;
+  p.seed = cfg_.base.seed + index;
+  return p;
+}
+
+namespace {
+
+AppRunParams campaign_params(const AppSpec& spec, const CampaignConfig& cfg) {
+  AppRunParams p;
+  p.io = workloads::io_params_for(spec, cfg.ranks);
+  // Shrunk streams (restart_verify's sizing): the verified solver state
+  // is independent of the simulated stream bytes.
+  p.io.procs_per_node = 1;
+  p.io.atoms_per_rank = 2048;
+  p.io.bytes_per_atom = 512;  // 1 MiB per rank per checkpoint
+  p.io.io_chunk = 1_MiB;
+  p.io.checkpoints = cfg.epochs;
+  p.io.compute_per_period = 2 * kMillisecond;
+  p.io.keep_last = cfg.epochs + 1;  // keep everything: probe freely
+  p.seed = cfg.workload_seed;
+  p.pfs_interval = 0;
+  p.deadline = cfg.deadline;
+  return p;
+}
+
+/// The full resilient simulation stack of one campaign run, mirroring
+/// examples/fault_storm: retry wrapper -> NVMe-CR runtime -> partner
+/// redundancy -> mid-checkpoint failover.
+struct ChaosStack {
+  nvmecr_rt::Cluster cluster;
+  nvmecr_rt::Scheduler sched;
+  std::optional<nvmecr_rt::JobAllocation> job;
+  std::optional<resilience::HealthMonitor> monitor;
+  std::optional<nvmecr_rt::NvmecrSystem> primary;
+  std::optional<redundancy::RedundantDeployment> dep;
+  std::optional<resilience::ResilientSystem> sys;
+  Status setup_error;
+
+  static nvmecr_rt::ClusterSpec make_spec(const ScheduleParams& sp,
+                                          uint32_t ranks) {
+    nvmecr_rt::ClusterSpec s;
+    s.compute_nodes = ranks;
+    s.storage_nodes = sp.storage_nodes;
+    s.storage_racks = sp.racks;
+    return s;
+  }
+
+  ChaosStack(const CampaignConfig& cfg, const ScheduleParams& sp,
+             uint64_t retry_seed)
+      : cluster(make_spec(sp, cfg.ranks)), sched(cluster) {
+    auto j = sched.allocate(cfg.ranks, /*procs_per_node=*/1, 64_MiB,
+                            sp.storage_nodes);
+    if (!j.ok()) {
+      setup_error = j.status();
+      return;
+    }
+    job = *j;
+    monitor.emplace(cluster.engine(), cluster.topology());
+    nvmecr_rt::RuntimeConfig config;
+    config.device_wrapper = resilience::make_retry_wrapper(
+        cluster.engine(), *monitor, resilience::RetryPolicy{}, retry_seed);
+    primary.emplace(cluster, *job, config);
+    redundancy::RedundancyOptions ropts;
+    ropts.scheme = redundancy::Scheme::kPartner;
+    auto d = redundancy::deploy_redundancy(cluster, sched, *primary, *job,
+                                           ropts, config);
+    if (!d.ok()) {
+      setup_error = d.status();
+      return;
+    }
+    dep.emplace(std::move(*d));
+    sys.emplace(cluster, sched, *dep->system, *monitor, *job, config);
+  }
+
+  /// Arms the management-plane daemons, bounded by `horizon` (must stay
+  /// below the run deadline; see AppRunParams::deadline).
+  void spawn_daemons(SimTime horizon) {
+    cluster.engine().spawn(monitor->heartbeat(
+        [this](fabric::NodeId n, SimTime t) {
+          const uint32_t idx = cluster.storage_ssd_index(n);
+          return cluster.target(idx).alive(t) &&
+                 !cluster.storage_ssd(idx).crashed_at(t);
+        },
+        horizon));
+    cluster.engine().spawn(sys->healer(horizon));
+  }
+
+  /// Post-run corruption gate: fsck every live runtime instance of the
+  /// primary and store deployments plus every provisioned failover
+  /// spare. Devices that are (still) unreachable fail the scan with a
+  /// retryable status — reported as such, not as corruption.
+  sim::Task<StatusOr<std::vector<std::string>>> fsck_everything() {
+    std::vector<std::string> issues;
+    auto merge = [&issues](std::vector<std::string> got, const char* tag) {
+      for (std::string& i : got) issues.push_back(std::string(tag) + i);
+    };
+    auto prim = co_await primary->fsck_all();
+    if (!prim.ok()) {
+      co_return StatusOr<std::vector<std::string>>(prim.status());
+    }
+    merge(std::move(*prim), "primary ");
+    auto spares = co_await sys->fsck_spares();
+    if (!spares.ok()) {
+      co_return StatusOr<std::vector<std::string>>(spares.status());
+    }
+    merge(std::move(*spares), "");
+    co_return issues;
+  }
+};
+
+/// try_run_task has no Task<void> overload; give quiesce a result.
+sim::Task<int> quiesce_wrap(redundancy::RedundantSystem& s) {
+  co_await s.quiesce();
+  co_return 0;
+}
+
+}  // namespace
+
+const AppRunResult& CampaignRunner::golden() {
+  if (!golden_.has_value()) {
+    const AppSpec* spec = workloads::find_app(cfg_.app.c_str());
+    NVMECR_CHECK(spec != nullptr);
+    // Clean minimal stack: the golden digests/residuals depend only on
+    // (spec, seed, elems, epochs), not on the storage system under it.
+    nvmecr_rt::ClusterSpec cspec;
+    cspec.compute_nodes = cfg_.ranks;
+    cspec.storage_nodes = cfg_.base.storage_nodes;
+    cspec.storage_racks = cfg_.base.racks;
+    nvmecr_rt::Cluster cluster(cspec);
+    nvmecr_rt::Scheduler sched(cluster);
+    auto job = sched.allocate(cfg_.ranks, 1, 64_MiB, cspec.storage_nodes);
+    NVMECR_CHECK(job.ok());
+    nvmecr_rt::NvmecrSystem fast(cluster, *job, nvmecr_rt::RuntimeConfig{});
+    AppDriver driver(cluster, fast, *spec, campaign_params(*spec, cfg_));
+    auto r = driver.run();
+    NVMECR_CHECK(r.ok());
+    golden_ = std::move(*r);
+  }
+  return *golden_;
+}
+
+RunOutcome CampaignRunner::run_schedule(const FailureSchedule& sched,
+                                        const std::vector<uint32_t>* subset) {
+  RunOutcome out;
+  out.schedule_seed = sched.params.seed;
+  const AppSpec* spec = workloads::find_app(cfg_.app.c_str());
+  if (spec == nullptr) {
+    out.status = InvalidArgumentError("unknown app " + cfg_.app);
+    return out;  // kInfra
+  }
+  const AppRunResult& gold = golden();
+
+  ChaosStack stack(cfg_, sched.params, /*retry_seed=*/sched.params.seed);
+  if (!stack.setup_error.ok()) {
+    out.status = stack.setup_error;
+    return out;  // kInfra
+  }
+  out.faults = apply_schedule(stack.cluster, sched, subset);
+  const SimTime horizon = sched.params.horizon + cfg_.heal_margin;
+  stack.spawn_daemons(horizon);
+
+  AppDriver driver(stack.cluster, *stack.sys, *spec,
+                   campaign_params(*spec, cfg_));
+  const KillSpec kill = out.faults.kill.value_or(KillSpec{});
+  sim::Engine& eng = stack.cluster.engine();
+  const SimTime t0 = eng.now();
+  auto finish = [&](Verdict v, Status st) {
+    out.verdict = v;
+    out.status = std::move(st);
+    out.run_time = eng.now() - t0;
+    return out;
+  };
+
+  auto classify = [](const Status& s) {
+    return s.code() == ErrorCode::kDeadlineExceeded ? Verdict::kHang
+                                                    : Verdict::kTypedFailure;
+  };
+
+  // Corruption gate, shared by every non-hang path. A hang poisons the
+  // engine (stuck coroutine frames), so only non-hang paths may run it.
+  auto fsck_gate = [&]() -> std::optional<RunOutcome> {
+    auto quiesced = eng.try_run_task(quiesce_wrap(*stack.dep->system));
+    if (!quiesced.has_value()) {
+      return finish(Verdict::kHang, DeadlineExceededError("quiesce hung"));
+    }
+    auto report = eng.try_run_task(stack.fsck_everything());
+    if (!report.has_value()) {
+      return finish(Verdict::kHang, DeadlineExceededError("fsck hung"));
+    }
+    if (!report->ok()) {
+      // Unreachable instances can't be scanned; their on-device content
+      // is intact (crash windows don't mutate the payload store). Only
+      // an fsck that RAN and found issues is corruption.
+      if (is_retryable(report->status().code())) return std::nullopt;
+      return finish(Verdict::kCorruption, report->status());
+    }
+    if (!(*report)->empty()) {
+      std::string msg = "fsck issues:";
+      for (const std::string& i : **report) msg += " [" + i + "]";
+      return finish(Verdict::kCorruption, CorruptionError(msg));
+    }
+    return std::nullopt;
+  };
+
+  auto ran = driver.run(kill);
+  if (!ran.ok()) {
+    const Verdict v = classify(ran.status());
+    if (v == Verdict::kHang) return finish(v, ran.status());
+    if (auto bad = fsck_gate()) return *bad;
+    return finish(v, ran.status());
+  }
+
+  // Restart through the failover-aware chain and verify against golden —
+  // run() either completed or was killed by the schedule's job kill;
+  // both must restart digest-identical.
+  std::vector<std::unique_ptr<baselines::StorageClient>> views;
+  for (uint32_t r = 0; r < cfg_.ranks; ++r) {
+    views.push_back(stack.sys->failover_view(r));
+  }
+  RestorePlan plan;
+  plan.chain = [&views, &driver](uint32_t rank) {
+    return std::vector<nvmecr_rt::RestoreSource>{
+        {views[rank].get(), false, "failover"},
+        {driver.session(rank), false, "fast"}};
+  };
+  auto restored = driver.restart(plan);
+  if (!restored.ok()) {
+    const Verdict v = classify(restored.status());
+    if (v == Verdict::kHang) return finish(v, restored.status());
+    if (auto bad = fsck_gate()) return *bad;
+    return finish(v, restored.status());
+  }
+  out.restored_epoch = restored->restored_epoch;
+  out.from_initial = restored->from_initial;
+
+  if (auto bad = fsck_gate()) return *bad;
+
+  Status verdict = workloads::verify_restart(gold, *restored);
+  if (!verdict.ok()) return finish(Verdict::kDivergence, verdict);
+  return finish(Verdict::kCompleted, OkStatus());
+}
+
+CampaignResult CampaignRunner::run_campaign(uint32_t schedules, bool shrink,
+                                            std::FILE* csv, bool verbose) {
+  CampaignResult res;
+  if (csv != nullptr) {
+    std::fprintf(csv,
+                 "run,seed,verdict,events,applied,kills,restored_epoch,"
+                 "from_initial,sim_ns,detail\n");
+  }
+  for (uint32_t i = 0; i < schedules; ++i) {
+    FailureSchedule sched = generate_schedule(schedule_params(i));
+    RunOutcome out = run_schedule(sched);
+    ++res.runs;
+    switch (out.verdict) {
+      case Verdict::kCompleted: ++res.completed; break;
+      case Verdict::kTypedFailure: ++res.typed_failures; break;
+      case Verdict::kHang: ++res.hangs; break;
+      case Verdict::kCorruption: ++res.corruptions; break;
+      case Verdict::kDivergence: ++res.divergences; break;
+      case Verdict::kInfra: ++res.infra; break;
+    }
+    if (csv != nullptr) {
+      std::fprintf(csv, "%u,0x%llx,%s,%zu,%u,%u,%d,%d,%lld,\"%s\"\n", i,
+                   static_cast<unsigned long long>(out.schedule_seed),
+                   verdict_name(out.verdict), sched.events.size(),
+                   out.faults.applied, out.faults.kill.has_value() ? 1 : 0,
+                   static_cast<int>(out.restored_epoch),
+                   out.from_initial ? 1 : 0,
+                   static_cast<long long>(out.run_time),
+                   out.status.ok() ? "" : out.status.to_string().c_str());
+    }
+    if (verbose) {
+      std::printf("run %4u seed 0x%llx: %-13s (%u faults%s)%s%s\n", i,
+                  static_cast<unsigned long long>(out.schedule_seed),
+                  verdict_name(out.verdict), out.faults.applied,
+                  out.faults.kill.has_value() ? " + job kill" : "",
+                  out.status.ok() ? "" : " — ",
+                  out.status.ok() ? "" : out.status.to_string().c_str());
+    }
+    if (out.violation()) {
+      res.first_violation = out;
+      res.violating_schedule = sched;
+      if (shrink) {
+        const Verdict target = out.verdict;
+        std::vector<uint32_t> ids;
+        for (const FailureEvent& e : sched.events) ids.push_back(e.id);
+        res.minimal_subset = ddmin(ids, [&](const std::vector<uint32_t>& s) {
+          return run_schedule(sched, &s).verdict == target;
+        });
+      }
+      break;  // the campaign is a gate: stop at the first violation
+    }
+  }
+  return res;
+}
+
+std::vector<uint32_t> ddmin(
+    std::vector<uint32_t> ids,
+    const std::function<bool(const std::vector<uint32_t>&)>& fails) {
+  // Does the violation even need events? (An empty-subset failure means
+  // the harness itself is broken — still the minimal answer.)
+  if (fails({})) return {};
+  size_t n = 2;
+  while (ids.size() >= 2) {
+    const size_t chunk = (ids.size() + n - 1) / n;
+    bool reduced = false;
+    // Try each chunk alone.
+    for (size_t i = 0; i < n && !reduced; ++i) {
+      const size_t lo = std::min(i * chunk, ids.size());
+      const size_t hi = std::min(lo + chunk, ids.size());
+      if (lo >= hi || hi - lo == ids.size()) continue;
+      std::vector<uint32_t> sub(ids.begin() + static_cast<long>(lo),
+                                ids.begin() + static_cast<long>(hi));
+      if (fails(sub)) {
+        ids = std::move(sub);
+        n = 2;
+        reduced = true;
+      }
+    }
+    if (reduced) continue;
+    // Try each complement.
+    for (size_t i = 0; i < n && !reduced; ++i) {
+      const size_t lo = std::min(i * chunk, ids.size());
+      const size_t hi = std::min(lo + chunk, ids.size());
+      if (lo >= hi || hi - lo == 0) continue;
+      std::vector<uint32_t> rest;
+      rest.insert(rest.end(), ids.begin(), ids.begin() + static_cast<long>(lo));
+      rest.insert(rest.end(), ids.begin() + static_cast<long>(hi), ids.end());
+      if (rest.size() < ids.size() && !rest.empty() && fails(rest)) {
+        ids = std::move(rest);
+        n = std::max<size_t>(n - 1, 2);
+        reduced = true;
+      }
+    }
+    if (reduced) continue;
+    if (n >= ids.size()) break;
+    n = std::min(ids.size(), n * 2);
+  }
+  return ids;
+}
+
+std::string reproducer_line(const FailureSchedule& sched,
+                            const std::vector<uint32_t>& subset) {
+  char seed[32];
+  std::snprintf(seed, sizeof(seed), "0x%llx",
+                static_cast<unsigned long long>(sched.params.seed));
+  std::string line = std::string("chaos_campaign --replay-seed ") + seed;
+  if (!subset.empty() && subset.size() < sched.events.size()) {
+    line += " --events ";
+    for (size_t i = 0; i < subset.size(); ++i) {
+      if (i > 0) line += ",";
+      line += std::to_string(subset[i]);
+    }
+  }
+  return line;
+}
+
+}  // namespace nvmecr::chaos

@@ -1,0 +1,198 @@
+#include "chaos/daly.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "common/rng.h"
+#include "nvmecr/runtime.h"
+#include "workloads/app_driver.h"
+#include "workloads/apps.h"
+
+namespace nvmecr::chaos {
+
+using namespace nvmecr::literals;
+using workloads::AppDriver;
+using workloads::AppRunParams;
+using workloads::AppSpec;
+using workloads::KillPoint;
+using workloads::KillSpec;
+
+double young_interval(double mtbf, double ckpt_cost) {
+  if (mtbf <= 0 || ckpt_cost <= 0) return mtbf;
+  return std::sqrt(2.0 * ckpt_cost * mtbf);
+}
+
+double daly_interval(double mtbf, double ckpt_cost) {
+  if (mtbf <= 0 || ckpt_cost <= 0) return mtbf;
+  if (ckpt_cost >= 2.0 * mtbf) return mtbf;
+  const double x = std::sqrt(ckpt_cost / (2.0 * mtbf));
+  return std::sqrt(2.0 * ckpt_cost * mtbf) *
+             (1.0 + x / 3.0 + x * x / 9.0) -
+         ckpt_cost;
+}
+
+namespace {
+
+/// Minimal clean stack for one experiment: failures in the Daly model
+/// are process losses, so the storage side stays healthy and the "kill"
+/// is the driver's own job-kill path.
+struct SweepStack {
+  nvmecr_rt::Cluster cluster;
+  nvmecr_rt::Scheduler sched;
+  std::optional<nvmecr_rt::JobAllocation> job;
+  std::optional<nvmecr_rt::NvmecrSystem> fast;
+
+  static nvmecr_rt::ClusterSpec make_spec() {
+    nvmecr_rt::ClusterSpec s;
+    s.compute_nodes = 4;
+    s.storage_nodes = 4;
+    s.storage_racks = 2;
+    return s;
+  }
+
+  explicit SweepStack(uint32_t ranks) : cluster(make_spec()), sched(cluster) {
+    auto j = sched.allocate(ranks, /*procs_per_node=*/1, 256_MiB,
+                            cluster.spec().storage_nodes);
+    NVMECR_CHECK(j.ok());
+    job = *j;
+    fast.emplace(cluster, *job, nvmecr_rt::RuntimeConfig{});
+  }
+};
+
+AppRunParams sweep_params(const AppSpec& spec, const SweepParams& p,
+                          double interval, uint32_t epochs) {
+  AppRunParams a;
+  a.io = workloads::io_params_for(spec, p.ranks);
+  a.io.procs_per_node = 1;
+  a.io.atoms_per_rank = 4096;
+  a.io.bytes_per_atom = 512;  // 2 MiB per rank per checkpoint
+  a.io.io_chunk = 1_MiB;
+  a.io.checkpoints = epochs;
+  a.io.compute_per_period = static_cast<SimDuration>(interval);
+  a.io.compute_jitter = 0;  // keep epoch wall time = I + delta exactly
+  a.io.keep_last = epochs + 1;
+  a.seed = p.seed;
+  return a;
+}
+
+/// One (interval, failure-stream) experiment: run with kills drawn from
+/// the exponential stream, restart, repeat until all epochs complete.
+/// Returns total sim time, or nullopt when the run misbehaved.
+std::optional<double> run_experiment(const AppSpec& spec,
+                                     const SweepParams& p, double interval,
+                                     uint32_t epochs, double delta,
+                                     uint64_t stream_seed,
+                                     uint32_t* failures) {
+  SweepStack stack(p.ranks);
+  AppDriver driver(stack.cluster, *stack.fast, spec,
+                   sweep_params(spec, p, interval, epochs));
+  Rng rng(mix64(stream_seed ^ 0xFA17D0A1Full));
+  auto draw = [&rng, &p]() {
+    return -p.mtbf * std::log(std::max(rng.uniform01(), 1e-12));
+  };
+  const double epoch_wall = interval + delta;  // expected epoch time
+
+  double total = 0;
+  uint32_t start_epoch = 0;
+  uint32_t cycles = 0;
+  bool first = true;
+  while (cycles <= p.max_cycles) {
+    // Map the next failure time (ns into this phase) onto the epoch in
+    // progress when it lands; the exponential process is memoryless, so
+    // drawing afresh at each phase start is exact.
+    const double next_fail = draw();
+    const uint32_t kill_epoch =
+        start_epoch + static_cast<uint32_t>(next_fail / epoch_wall);
+    KillSpec kill;
+    if (kill_epoch < epochs) {
+      kill.epoch = kill_epoch;
+      // Alternate rework extremes (lose a full interval vs. almost
+      // none) so the average rework matches the model's I/2.
+      kill.point = (cycles % 2 == 0) ? KillPoint::kBeforeCheckpoint
+                                     : KillPoint::kAfterCheckpoint;
+    }
+    auto r = first ? driver.run(kill)
+                   : driver.restart(workloads::RestorePlan{}, kill);
+    first = false;
+    if (!r.ok()) return std::nullopt;
+    total += static_cast<double>(r->total_time);
+    if (!r->killed) return total;
+    ++cycles;
+    if (failures != nullptr) ++*failures;
+    // Newest committed epoch after a kill at e: e with kAfterCheckpoint
+    // (resume at e+1), e-1 with kBeforeCheckpoint (resume at e).
+    start_epoch =
+        kill.point == KillPoint::kAfterCheckpoint ? kill.epoch + 1
+        : kill.epoch > 0                          ? kill.epoch
+                                                  : 0;
+  }
+  return std::nullopt;  // max_cycles exceeded: interval far too small
+}
+
+}  // namespace
+
+SweepResult interval_sweep(const SweepParams& p) {
+  SweepResult out;
+  out.mtbf = p.mtbf;
+  const AppSpec* spec = workloads::find_app(p.app.c_str());
+  NVMECR_CHECK(spec != nullptr);
+
+  // Calibrate the per-epoch checkpoint overhead δ on the real stack: a
+  // clean run's epoch wall time minus its compute interval (includes
+  // the reductions and barrier — overhead the model charges to δ too).
+  {
+    const double cal_interval = 4.0 * kMillisecond;
+    const uint32_t cal_epochs = 6;
+    SweepStack stack(p.ranks);
+    AppDriver driver(stack.cluster, *stack.fast, *spec,
+                     sweep_params(*spec, p, cal_interval, cal_epochs));
+    auto r = driver.run();
+    NVMECR_CHECK(r.ok());
+    out.delta =
+        static_cast<double>(r->total_time) / cal_epochs - cal_interval;
+  }
+  out.young = young_interval(p.mtbf, out.delta);
+  out.daly = daly_interval(p.mtbf, out.delta);
+
+  // Geometric grid centered on the Daly interval.
+  const int center = static_cast<int>(p.grid) / 2;
+  double best_eff = -1;
+  for (uint32_t k = 0; k < p.grid; ++k) {
+    const double interval =
+        out.daly * std::pow(p.grid_step, static_cast<int>(k) - center);
+    const uint32_t epochs = std::max(
+        2u, static_cast<uint32_t>(std::lround(p.work / interval)));
+    SweepPoint pt;
+    pt.interval = interval;
+    pt.epochs = epochs;
+    const double useful = static_cast<double>(epochs) * interval;
+    double eff_sum = 0;
+    uint32_t reps_ok = 0;
+    for (uint32_t rep = 0; rep < p.reps; ++rep) {
+      auto total = run_experiment(*spec, p, interval, epochs, out.delta,
+                                  p.seed + rep, &pt.failures);
+      if (!total.has_value() || *total <= 0) continue;
+      eff_sum += useful / *total;
+      ++reps_ok;
+    }
+    if (reps_ok > 0) pt.efficiency = eff_sum / reps_ok;
+    if (pt.efficiency > best_eff) {
+      best_eff = pt.efficiency;
+      out.best_index = static_cast<int>(k);
+    }
+    out.points.push_back(pt);
+  }
+  // Grid point nearest the computed Daly interval (log distance).
+  double best_dist = -1;
+  for (uint32_t k = 0; k < p.grid; ++k) {
+    const double d = std::fabs(std::log(out.points[k].interval / out.daly));
+    if (best_dist < 0 || d < best_dist) {
+      best_dist = d;
+      out.computed_index = static_cast<int>(k);
+    }
+  }
+  return out;
+}
+
+}  // namespace nvmecr::chaos

@@ -20,6 +20,7 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kUnavailable: return "UNAVAILABLE";
     case ErrorCode::kTimedOut: return "TIMED_OUT";
     case ErrorCode::kUnreachable: return "UNREACHABLE";
+    case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case ErrorCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

@@ -33,6 +33,7 @@ enum class ErrorCode : int {
   kUnavailable,    // resource (queue/namespace) exhausted
   kTimedOut,       // ETIMEDOUT: IO or transport deadline elapsed
   kUnreachable,    // EHOSTUNREACH: remote target not responding
+  kDeadlineExceeded, // run exceeded its wall deadline (hang detector)
   kInternal,       // invariant violation
 };
 
@@ -102,6 +103,7 @@ NVMECR_DEFINE_ERROR_FACTORY(CorruptionError, kCorruption)
 NVMECR_DEFINE_ERROR_FACTORY(UnavailableError, kUnavailable)
 NVMECR_DEFINE_ERROR_FACTORY(TimedOutError, kTimedOut)
 NVMECR_DEFINE_ERROR_FACTORY(UnreachableError, kUnreachable)
+NVMECR_DEFINE_ERROR_FACTORY(DeadlineExceededError, kDeadlineExceeded)
 NVMECR_DEFINE_ERROR_FACTORY(InternalError, kInternal)
 
 #undef NVMECR_DEFINE_ERROR_FACTORY

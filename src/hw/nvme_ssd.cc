@@ -269,12 +269,11 @@ sim::Task<Status> NvmeSsd::submit(Command cmd, uint64_t* tag_out) {
 
   // Straggler window: inflate the device service time (completion still
   // arrives — this must read as "slow", never "dead", to the detector).
-  if (straggler_factor_ > 1.0 && engine_.now() >= straggler_from_ &&
-      engine_.now() < straggler_until_) {
+  if (const double factor = straggler_factor_at(engine_.now());
+      factor > 1.0) {
     const SimTime now = engine_.now();
     completion = now + static_cast<SimTime>(
-                           static_cast<double>(completion - now) *
-                           straggler_factor_);
+                           static_cast<double>(completion - now) * factor);
   }
 
   // In-order completion within a hardware queue.

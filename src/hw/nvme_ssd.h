@@ -109,24 +109,33 @@ class NvmeSsd {
   /// recover_at == 0 means the device never comes back; a nonzero value
   /// revives it (power-cycled node) so healing can re-replicate onto it.
   /// Stored content survives the crash (capacitor-backed RAM + flash).
+  /// Repeated calls accumulate independent crash windows (failure
+  /// schedules arm many transient outages on one device).
   void schedule_crash(SimTime at, SimTime recover_at = 0) {
-    crash_armed_ = true;
-    crash_at_ = at;
-    recover_at_ = recover_at;
+    crash_windows_.push_back({at, recover_at});
   }
   /// True when the device is crashed (unresponsive) at time `t`. Health
   /// probes use this as the management-plane liveness check.
   bool crashed_at(SimTime t) const {
-    return crash_armed_ && t >= crash_at_ &&
-           (recover_at_ == 0 || t < recover_at_);
+    for (const auto& w : crash_windows_) {
+      if (t >= w.at && (w.recover_at == 0 || t < w.recover_at)) return true;
+    }
+    return false;
   }
   /// Inflates device service time by `factor` for commands submitted in
   /// [from, until): a straggler (GC pause, thermal throttle), NOT a
   /// failure — completions still arrive and must not trip the detector.
+  /// Windows accumulate; overlapping windows take the largest factor.
   void set_straggler(double factor, SimTime from, SimTime until) {
-    straggler_factor_ = factor;
-    straggler_from_ = from;
-    straggler_until_ = until;
+    straggler_windows_.push_back({factor, from, until});
+  }
+  /// Service-time inflation in effect at time `t` (1.0 = none).
+  double straggler_factor_at(SimTime t) const {
+    double f = 1.0;
+    for (const auto& w : straggler_windows_) {
+      if (w.factor > f && t >= w.from && t < w.until) f = w.factor;
+    }
+    return f;
   }
   /// Time a crashed device makes the initiator wait before the timeout
   /// error is reported (models the host-side IO timeout).
@@ -183,12 +192,17 @@ class NvmeSsd {
   uint32_t inject_errors_ = 0;
   uint32_t inject_after_ = 0;
   bool device_failed_ = false;
-  bool crash_armed_ = false;
-  SimTime crash_at_ = 0;
-  SimTime recover_at_ = 0;        // 0 = crashed forever
-  double straggler_factor_ = 1.0;
-  SimTime straggler_from_ = 0;
-  SimTime straggler_until_ = 0;
+  struct CrashWindow {
+    SimTime at = 0;
+    SimTime recover_at = 0;  // 0 = crashed forever
+  };
+  std::vector<CrashWindow> crash_windows_;
+  struct StragglerWindow {
+    double factor = 1.0;
+    SimTime from = 0;
+    SimTime until = 0;
+  };
+  std::vector<StragglerWindow> straggler_windows_;
   SimDuration io_timeout_ = 500'000;  // 500 us
 
   // Observability (all null/empty when detached; see obs/observer.h).

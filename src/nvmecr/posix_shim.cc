@@ -16,6 +16,7 @@ ShimErrno to_errno(const Status& status) {
     case ErrorCode::kInvalidArgument: return ShimErrno::kEINVAL;
     case ErrorCode::kTimedOut: return ShimErrno::kTimedOut;
     case ErrorCode::kUnreachable: return ShimErrno::kHostUnreach;
+    case ErrorCode::kDeadlineExceeded: return ShimErrno::kTimedOut;
     default: return ShimErrno::kEIO;
   }
 }

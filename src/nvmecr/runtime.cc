@@ -34,6 +34,10 @@ class NvmecrClient final : public baselines::StorageClient {
   NvmecrClient(NvmecrSystem& system, int rank) : system_(system), rank_(rank) {}
 
   ~NvmecrClient() override {
+    if (auto it = system_.live_clients_.find(rank_);
+        it != system_.live_clients_.end() && it->second == this) {
+      system_.live_clients_.erase(it);
+    }
     if (fs_ == nullptr) return;
     // Flush per-instance statistics into the system aggregates.
     const auto& st = fs_->stats();
@@ -140,6 +144,7 @@ class NvmecrClient final : public baselines::StorageClient {
       fs_->set_observer(obs_, "rank" + std::to_string(rank_));
       op_done("connect", t0, nullptr);
     }
+    system_.live_clients_[rank_] = this;
     co_return OkStatus();
   }
 
@@ -265,6 +270,20 @@ NvmecrSystem::NvmecrSystem(Cluster& cluster, JobAllocation job,
 }
 
 NvmecrSystem::~NvmecrSystem() = default;
+
+sim::Task<StatusOr<std::vector<std::string>>> NvmecrSystem::fsck_all() {
+  std::vector<std::string> issues;
+  for (auto& [rank, client] : live_clients_) {
+    auto report = co_await client->fs().fsck();
+    if (!report.ok()) {
+      co_return StatusOr<std::vector<std::string>>(report.status());
+    }
+    for (const std::string& issue : report->issues) {
+      issues.push_back("rank " + std::to_string(rank) + ": " + issue);
+    }
+  }
+  co_return issues;
+}
 
 sim::Task<StatusOr<std::unique_ptr<baselines::StorageClient>>>
 NvmecrSystem::connect(int rank) {

@@ -19,7 +19,10 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "baselines/storage_api.h"
 #include "kernelfs/kernel_costs.h"
@@ -62,6 +65,8 @@ struct RuntimeConfig {
       device_wrapper;
 };
 
+class NvmecrClient;
+
 class NvmecrSystem final : public baselines::StorageSystem {
  public:
   /// `comm`, when given, is used for the init-time collectives
@@ -91,6 +96,14 @@ class NvmecrSystem final : public baselines::StorageSystem {
   uint64_t log_records_coalesced() const { return agg_log_coalesced_; }
   size_t peak_client_dram() const { return peak_client_dram_; }
 
+  /// Runs the microfs fsck invariant checker over every live client's
+  /// mounted filesystem (chaos campaigns' post-run corruption gate).
+  /// Returns the concatenated, rank-prefixed issue list — empty means
+  /// every instance is clean. Only clients still alive (connected and
+  /// not yet destroyed) are checked.
+  sim::Task<StatusOr<std::vector<std::string>>> fsck_all();
+  size_t live_clients() const { return live_clients_.size(); }
+
  private:
   friend class NvmecrClient;
 
@@ -116,6 +129,10 @@ class NvmecrSystem final : public baselines::StorageSystem {
   uint64_t metadata_bytes_ = 0;
   SimDuration kernel_time_ = 0;
   size_t peak_client_dram_ = 0;
+
+  /// Live-instance registry (rank -> client), maintained by the client's
+  /// init/teardown so fsck_all can reach every mounted filesystem.
+  std::map<int, NvmecrClient*> live_clients_;
 };
 
 }  // namespace nvmecr::nvmecr_rt

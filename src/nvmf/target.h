@@ -142,17 +142,19 @@ class NvmfTarget {
   /// `recover_at`; 0 = forever): commands in the window get no response
   /// and initiators see kUnreachable after the transport timeout. The
   /// SSD behind it is untouched — this models a userspace daemon / node
-  /// OS loss, distinct from NvmeSsd::schedule_crash.
+  /// OS loss, distinct from NvmeSsd::schedule_crash. Repeated calls
+  /// accumulate independent crash windows (failure schedules arm many
+  /// transient outages on one daemon).
   void schedule_crash(SimTime at, SimTime recover_at = 0) {
-    crash_armed_ = true;
-    crash_at_ = at;
-    recover_at_ = recover_at;
+    crash_windows_.push_back({at, recover_at});
   }
   /// True when the target daemon is responsive at time `t` (the
   /// management-plane liveness check heartbeat probes use).
   bool alive(SimTime t) const {
-    return !(crash_armed_ && t >= crash_at_ &&
-             (recover_at_ == 0 || t < recover_at_));
+    for (const auto& w : crash_windows_) {
+      if (t >= w.at && (w.recover_at == 0 || t < w.recover_at)) return false;
+    }
+    return true;
   }
 
  private:
@@ -172,9 +174,11 @@ class NvmfTarget {
   /// (queue id, connections using it); shared once the budget runs out.
   std::vector<std::pair<uint32_t, uint32_t>> queue_refs_;
   uint32_t next_shared_ = 0;
-  bool crash_armed_ = false;
-  SimTime crash_at_ = 0;
-  SimTime recover_at_ = 0;  // 0 = crashed forever
+  struct CrashWindow {
+    SimTime at = 0;
+    SimTime recover_at = 0;  // 0 = crashed forever
+  };
+  std::vector<CrashWindow> crash_windows_;
 
   // Observability (null/empty when detached).
   obs::Observer obs_;

@@ -228,6 +228,21 @@ sim::Task<void> ResilientSystem::healer(SimTime until, SimDuration period) {
   }
 }
 
+sim::Task<StatusOr<std::vector<std::string>>> ResilientSystem::fsck_spares() {
+  std::vector<std::string> issues;
+  for (auto& [rank, rs] : ranks_) {
+    if (rs->spare_system == nullptr) continue;
+    auto spare = co_await rs->spare_system->fsck_all();
+    if (!spare.ok()) {
+      co_return StatusOr<std::vector<std::string>>(spare.status());
+    }
+    for (const std::string& issue : *spare) {
+      issues.push_back("spare of rank " + std::to_string(rank) + ": " + issue);
+    }
+  }
+  co_return issues;
+}
+
 // ---------------------------------------------------------------------
 // ResilientClient
 // ---------------------------------------------------------------------

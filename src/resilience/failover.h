@@ -141,6 +141,11 @@ class ResilientSystem final : public baselines::StorageSystem {
   /// note_healed(). Spawn on the cluster engine alongside the workload.
   sim::Task<void> healer(SimTime until, SimDuration period = 500'000);
 
+  /// fsck over every provisioned spare's runtime instances (chaos
+  /// campaigns' corruption gate covers failover spares too). Returns the
+  /// concatenated, rank-prefixed issue list; empty = clean.
+  sim::Task<StatusOr<std::vector<std::string>>> fsck_spares();
+
   void set_observer(const obs::Observer& o);
 
  private:

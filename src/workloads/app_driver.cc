@@ -242,7 +242,7 @@ sim::Task<void> AppDriver::epoch_loop(uint32_t rank, uint32_t start,
 
 sim::Task<void> AppDriver::probe_task(
     const RestorePlan& plan, std::vector<nvmecr_rt::RestoreSource>& chosen,
-    uint32_t& epoch_out) {
+    uint32_t& epoch_out, bool& done) {
   const uint32_t nranks = params_.io.nranks;
   for (uint32_t e : ledger_.committed_epochs(nranks)) {
     bool all = true;
@@ -267,10 +267,34 @@ sim::Task<void> AppDriver::probe_task(
     }
     if (all) {
       epoch_out = e;
+      done = true;
       co_return;
     }
   }
   epoch_out = kNoRestoreEpoch;
+  done = true;
+}
+
+Status AppDriver::run_engine_phase(SimTime started, const Status& first_error,
+                                   const char* phase) {
+  sim::Engine& eng = cluster_.engine();
+  if (params_.deadline <= 0) {
+    eng.run();
+    return OkStatus();
+  }
+  eng.run_until(started + params_.deadline);
+  // Pending roots at the cutoff with no typed error are a hang — either
+  // the deadline fired mid-flight or the queue drained with coroutines
+  // parked on an event that never comes. A recorded typed error instead
+  // means one rank failed and its peers are parked at a collective the
+  // dead rank will never join: that is the typed-failure outcome, not a
+  // hang, and finish_run reports it.
+  if (eng.live_roots() > 0 && first_error.ok()) {
+    return DeadlineExceededError(
+        std::string(phase) + " exceeded deadline with " +
+        std::to_string(eng.live_roots()) + " tasks pending");
+  }
+  return OkStatus();
 }
 
 sim::Task<void> AppDriver::restore_and_resume(uint32_t rank, uint32_t epoch,
@@ -352,7 +376,8 @@ StatusOr<AppRunResult> AppDriver::run(const KillSpec& kill) {
   ctx.kill = kill;
   ctx.started = eng.now();
   for (uint32_t r = 0; r < nranks; ++r) eng.spawn(epoch_loop(r, 0, ctx));
-  eng.run();
+  s = run_engine_phase(ctx.started, ctx.first_error, "run");
+  if (!s.ok()) return s;
   return finish_run(ctx);
 }
 
@@ -365,7 +390,17 @@ StatusOr<AppRunResult> AppDriver::restart(const RestorePlan& plan,
 
   std::vector<nvmecr_rt::RestoreSource> chosen(nranks);
   uint32_t epoch = kNoRestoreEpoch;
-  eng.run_task(probe_task(plan, chosen, epoch));
+  bool probed = false;
+  if (params_.deadline > 0) {
+    // A hung probe must surface as kDeadlineExceeded, not abort the
+    // process the way run_task's deadlock check would.
+    const SimTime probe_started = eng.now();
+    eng.spawn(probe_task(plan, chosen, epoch, probed));
+    eng.run_until(probe_started + params_.deadline);
+    if (!probed) return DeadlineExceededError("restore probe exceeded deadline");
+  } else {
+    eng.run_task(probe_task(plan, chosen, epoch, probed));
+  }
 
   RunCtx ctx;
   ctx.kill = kill;
@@ -387,7 +422,8 @@ StatusOr<AppRunResult> AppDriver::restart(const RestorePlan& plan,
       eng.spawn(restore_and_resume(r, epoch, chosen[r], ctx));
     }
   }
-  eng.run();
+  s = run_engine_phase(ctx.started, ctx.first_error, "restart");
+  if (!s.ok()) return s;
   auto res = finish_run(ctx);
   if (!res.ok()) return res;
   res->restored = true;

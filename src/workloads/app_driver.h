@@ -113,6 +113,16 @@ struct AppRunParams {
   /// Every `pfs_interval`-th checkpoint routes to the PFS system passed
   /// to the constructor (0 = fast tier only).
   uint32_t pfs_interval = 0;
+  /// Hang detector (chaos campaigns): when nonzero, run()/restart() stop
+  /// advancing the simulation `deadline` ns after they start. Rank
+  /// coroutines still pending at the cutoff — with no typed error
+  /// recorded — make the call fail with kDeadlineExceeded instead of
+  /// spinning forever. The engine is poisoned after a hit (stuck frames
+  /// reclaimed only by its destructor): discard the whole stack. Any
+  /// background daemons sharing the engine (heartbeat/healer) must be
+  /// bounded by a horizon shorter than the deadline, or they read as
+  /// hung application ranks.
+  SimDuration deadline = 0;
 };
 
 inline constexpr uint32_t kNoRestoreEpoch = UINT32_MAX;
@@ -183,7 +193,13 @@ class AppDriver {
   sim::Task<void> connect_task(Status& out);
   sim::Task<void> probe_task(const RestorePlan& plan,
                              std::vector<nvmecr_rt::RestoreSource>& chosen,
-                             uint32_t& epoch_out);
+                             uint32_t& epoch_out, bool& done);
+  /// Runs the engine for the current phase: to quiescence, or — when
+  /// params_.deadline is set — at most deadline ns past `started`.
+  /// Returns kDeadlineExceeded if root tasks are still pending at the
+  /// cutoff without a recorded typed error.
+  Status run_engine_phase(SimTime started, const Status& first_error,
+                          const char* phase);
   sim::Task<void> epoch_loop(uint32_t rank, uint32_t start, RunCtx& ctx);
   sim::Task<Status> write_checkpoint(uint32_t rank, uint32_t epoch,
                                      double residual, bool mid_kill);

@@ -1,0 +1,345 @@
+// Chaos subsystem tests (DESIGN.md §17): schedule generation is
+// deterministic and bounded, the Weibull option actually clusters
+// failures, serialization round-trips byte-identically, ddmin shrinks
+// to a locally minimal subset against a synthetic oracle, the
+// Young/Daly formulas match hand-computed values, fsck_all is clean on
+// a healthy run, and a small pinned-seed campaign upholds the survival
+// trichotomy with deterministic outcomes across two sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chaos/campaign.h"
+#include "chaos/daly.h"
+#include "chaos/inject.h"
+#include "chaos/schedule.h"
+#include "nvmecr/runtime.h"
+#include "workloads/app_driver.h"
+#include "workloads/apps.h"
+
+namespace nvmecr {
+namespace {
+
+using namespace nvmecr::literals;
+using chaos::CampaignConfig;
+using chaos::CampaignResult;
+using chaos::CampaignRunner;
+using chaos::DomainModel;
+using chaos::FailureEvent;
+using chaos::FailureSchedule;
+using chaos::FaultKind;
+using chaos::MtbfDist;
+using chaos::ScheduleParams;
+using chaos::Verdict;
+
+ScheduleParams busy_params(uint64_t seed) {
+  ScheduleParams p;
+  p.seed = seed;
+  p.target.mtbf = 20.0 * kMillisecond;
+  p.target.transient_prob = 0.8;
+  p.ssd.mtbf = 30.0 * kMillisecond;
+  p.ssd.dist = MtbfDist::kWeibull;
+  p.link.mtbf = 25.0 * kMillisecond;
+  p.straggler.mtbf = 40.0 * kMillisecond;
+  p.partition.mtbf = 150.0 * kMillisecond;
+  p.rack_burst_prob = 0.3;
+  p.cascade_prob = 0.3;
+  p.job_kill_prob = 1.0;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Schedule generation
+
+TEST(ScheduleTest, SameSeedSameSchedule) {
+  const FailureSchedule a = chaos::generate_schedule(busy_params(7));
+  const FailureSchedule b = chaos::generate_schedule(busy_params(7));
+  ASSERT_EQ(a.events.size(), b.events.size());
+  EXPECT_EQ(chaos::serialize_schedule(a), chaos::serialize_schedule(b));
+  // A different seed draws a different storm.
+  const FailureSchedule c = chaos::generate_schedule(busy_params(8));
+  EXPECT_NE(chaos::serialize_schedule(a), chaos::serialize_schedule(c));
+}
+
+TEST(ScheduleTest, EventsRespectBoundsAndOrdering) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const ScheduleParams p = busy_params(seed);
+    const FailureSchedule s = chaos::generate_schedule(p);
+    EXPECT_LE(s.events.size(), p.max_events);
+    uint32_t kills = 0;
+    for (size_t i = 0; i < s.events.size(); ++i) {
+      const FailureEvent& e = s.events[i];
+      EXPECT_EQ(e.id, static_cast<uint32_t>(i));  // stable shrinker keys
+      if (e.kind == FaultKind::kJobKill) {
+        ++kills;
+        EXPECT_LT(e.victim, p.epochs);
+      } else {
+        EXPECT_GE(e.at, 0);
+        EXPECT_LT(e.at, p.horizon);
+        if (e.until != 0) EXPECT_GT(e.until, e.at);  // 0 = permanent
+      }
+      if (i > 0 && s.events[i - 1].kind != FaultKind::kJobKill &&
+          e.kind != FaultKind::kJobKill) {
+        EXPECT_LE(s.events[i - 1].at, e.at);
+      }
+      if (e.kind == FaultKind::kStraggler) {
+        EXPECT_GE(e.factor, p.straggler_factor_min);
+        EXPECT_LE(e.factor, p.straggler_factor_max);
+      }
+    }
+    EXPECT_LE(kills, 1u);  // at most one process kill per schedule
+  }
+}
+
+// Weibull shape < 1 clusters arrivals: the dispersion (variance/mean)
+// of interarrival gaps must exceed the exponential's, aggregated over
+// many seeds so the test is statistical but deterministic.
+TEST(ScheduleTest, WeibullClustersFailures) {
+  auto gap_dispersion = [](MtbfDist dist) {
+    std::vector<double> gaps;
+    for (uint64_t seed = 1; seed <= 40; ++seed) {
+      ScheduleParams p;
+      p.seed = seed;
+      p.horizon = 400 * kMillisecond;
+      p.storage_nodes = 1;  // one arrival process: gaps are meaningful
+      p.racks = 1;
+      p.target.mtbf = 20.0 * kMillisecond;
+      p.target.dist = dist;
+      p.target.weibull_shape = 0.5;
+      p.max_events = 1000;
+      const FailureSchedule s = chaos::generate_schedule(p);
+      for (size_t i = 1; i < s.events.size(); ++i) {
+        gaps.push_back(static_cast<double>(s.events[i].at - s.events[i - 1].at));
+      }
+    }
+    double mean = 0;
+    for (double g : gaps) mean += g;
+    mean /= static_cast<double>(gaps.size());
+    double var = 0;
+    for (double g : gaps) var += (g - mean) * (g - mean);
+    var /= static_cast<double>(gaps.size());
+    return var / mean;
+  };
+  EXPECT_GT(gap_dispersion(MtbfDist::kWeibull),
+            1.5 * gap_dispersion(MtbfDist::kExponential));
+}
+
+TEST(ScheduleTest, SerializeParseRoundTrip) {
+  for (uint64_t seed : {1ull, 9ull, 0xDEADull}) {
+    const FailureSchedule s = chaos::generate_schedule(busy_params(seed));
+    const std::string text = chaos::serialize_schedule(s);
+    auto parsed = chaos::parse_schedule(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+    EXPECT_EQ(chaos::serialize_schedule(*parsed), text);
+    EXPECT_EQ(parsed->params.seed, s.params.seed);
+    EXPECT_EQ(parsed->params.horizon, s.params.horizon);
+    ASSERT_EQ(parsed->events.size(), s.events.size());
+    for (size_t i = 0; i < s.events.size(); ++i) {
+      EXPECT_EQ(parsed->events[i].kind, s.events[i].kind);
+      EXPECT_EQ(parsed->events[i].at, s.events[i].at);
+      EXPECT_EQ(parsed->events[i].until, s.events[i].until);
+      EXPECT_EQ(parsed->events[i].kill_point, s.events[i].kill_point);
+    }
+  }
+  EXPECT_FALSE(chaos::parse_schedule("not a schedule\n").ok());
+  EXPECT_FALSE(chaos::parse_schedule("# nvmecr chaos schedule v1\n"
+                                     "event 0 bogus-kind 0 1 2 1.0 none\n")
+                   .ok());
+}
+
+TEST(ScheduleTest, MtbfAggregatesCrashFamilies) {
+  ScheduleParams p;
+  p.storage_nodes = 8;
+  p.racks = 4;
+  p.target.mtbf = 400.0 * kMillisecond;
+  p.ssd.mtbf = 800.0 * kMillisecond;
+  // Rates add: 8/400 + 8/800 = 0.03 failures/ms across the fleet.
+  EXPECT_NEAR(chaos::schedule_mtbf(p), kMillisecond / 0.03, 1.0);
+  ScheduleParams off;
+  off.target.mtbf = 0;
+  off.ssd.mtbf = 0;
+  off.partition.mtbf = 0;
+  EXPECT_EQ(chaos::schedule_mtbf(off), static_cast<double>(off.horizon));
+}
+
+// ---------------------------------------------------------------------------
+// ddmin shrinking
+
+TEST(DdminTest, FindsMinimalSubsetAgainstSyntheticOracle) {
+  // Failure requires {3, 11} together; everything else is noise.
+  std::vector<uint32_t> ids;
+  for (uint32_t i = 0; i < 16; ++i) ids.push_back(i);
+  uint32_t probes = 0;
+  auto fails = [&probes](const std::vector<uint32_t>& subset) {
+    ++probes;
+    bool has3 = false;
+    bool has11 = false;
+    for (uint32_t id : subset) {
+      has3 = has3 || id == 3;
+      has11 = has11 || id == 11;
+    }
+    return has3 && has11;
+  };
+  const std::vector<uint32_t> minimal = chaos::ddmin(ids, fails);
+  EXPECT_EQ(minimal, (std::vector<uint32_t>{3, 11}));
+  EXPECT_LT(probes, 200u);  // quadratic worst case, far less here
+
+  // Single-event culprit shrinks to exactly that event.
+  auto fails_single = [](const std::vector<uint32_t>& subset) {
+    return std::find(subset.begin(), subset.end(), 7u) != subset.end();
+  };
+  EXPECT_EQ(chaos::ddmin(ids, fails_single), (std::vector<uint32_t>{7}));
+
+  // An unconditional failure (empty subset still fails) shrinks to {}.
+  auto fails_always = [](const std::vector<uint32_t>&) { return true; };
+  EXPECT_TRUE(chaos::ddmin(ids, fails_always).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Young / Daly
+
+TEST(DalyTest, FormulasMatchHandComputedValues) {
+  // M = 50, δ = 1 (any consistent unit): Young = sqrt(2*1*50) = 10.
+  EXPECT_NEAR(chaos::young_interval(50.0, 1.0), 10.0, 1e-12);
+  // Daly: x = sqrt(1/100) = 0.1 -> 10*(1 + 0.1/3 + 0.01/9) - 1.
+  const double daly = 10.0 * (1.0 + 0.1 / 3.0 + 0.01 / 9.0) - 1.0;
+  EXPECT_NEAR(chaos::daly_interval(50.0, 1.0), daly, 1e-12);
+  // δ >= 2M: checkpointing can't pay for itself; clamp to M.
+  EXPECT_EQ(chaos::daly_interval(10.0, 20.0), 10.0);
+  EXPECT_EQ(chaos::daly_interval(10.0, 25.0), 10.0);
+  // Daly's correction raises the interval above Young's for the same
+  // inputs (the -δ term is more than offset only at large δ/M).
+  EXPECT_GT(chaos::daly_interval(50.0, 1.0), 0.9 * chaos::young_interval(50.0, 1.0));
+}
+
+// ---------------------------------------------------------------------------
+// fsck over live runtimes
+
+TEST(FsckAllTest, HealthyRunIsClean) {
+  nvmecr_rt::ClusterSpec spec;
+  spec.compute_nodes = 4;
+  spec.storage_nodes = 4;
+  spec.storage_racks = 2;
+  nvmecr_rt::Cluster cluster(spec);
+  nvmecr_rt::Scheduler sched(cluster);
+  auto job = sched.allocate(4, 4, 64_MiB, spec.storage_nodes);
+  ASSERT_TRUE(job.ok());
+  nvmecr_rt::NvmecrSystem sys(cluster, *job, nvmecr_rt::RuntimeConfig{});
+
+  const workloads::AppSpec* app = workloads::find_app("CoMD");
+  ASSERT_NE(app, nullptr);
+  workloads::AppRunParams p;
+  p.io = workloads::io_params_for(*app, 4);
+  p.io.procs_per_node = 4;
+  p.io.atoms_per_rank = 2048;
+  p.io.bytes_per_atom = 512;
+  p.io.io_chunk = 1_MiB;
+  p.io.checkpoints = 3;
+  p.io.compute_per_period = 2 * kMillisecond;
+  p.io.keep_last = 4;
+  workloads::AppDriver driver(cluster, sys, *app, p);
+  auto r = driver.run();
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+
+  EXPECT_EQ(sys.live_clients(), 4u);
+  auto issues = cluster.engine().run_task(sys.fsck_all());
+  ASSERT_TRUE(issues.ok()) << issues.status().to_string();
+  EXPECT_TRUE(issues->empty());
+}
+
+// ---------------------------------------------------------------------------
+// Campaign
+
+CampaignConfig quick_config() {
+  CampaignConfig cfg;
+  cfg.ranks = 4;
+  cfg.epochs = 4;
+  return cfg;
+}
+
+TEST(CampaignTest, QuickCampaignUpholdsTrichotomy) {
+  CampaignRunner runner(quick_config());
+  const CampaignResult res = runner.run_campaign(/*schedules=*/12);
+  EXPECT_TRUE(res.clean()) << chaos::verdict_name(res.first_violation->verdict)
+                           << ": " << res.first_violation->status.to_string();
+  EXPECT_EQ(res.runs, 12u);
+  EXPECT_EQ(res.hangs, 0u);
+  EXPECT_EQ(res.corruptions, 0u);
+  EXPECT_EQ(res.divergences, 0u);
+  EXPECT_EQ(res.completed + res.typed_failures, res.runs);
+  EXPECT_EQ(res.exit_code(), chaos::kExitOk);
+}
+
+TEST(CampaignTest, OutcomesAreDeterministicAcrossRunners) {
+  auto sweep = []() {
+    CampaignRunner runner(quick_config());
+    std::vector<Verdict> verdicts;
+    std::vector<SimDuration> times;
+    for (uint32_t i = 0; i < 6; ++i) {
+      const FailureSchedule sched =
+          chaos::generate_schedule(runner.schedule_params(i));
+      const chaos::RunOutcome out = runner.run_schedule(sched);
+      verdicts.push_back(out.verdict);
+      times.push_back(out.run_time);
+    }
+    return std::make_pair(verdicts, times);
+  };
+  const auto a = sweep();
+  const auto b = sweep();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);  // bit-identical sim timelines
+}
+
+TEST(CampaignTest, OverwhelmingScheduleYieldsTypedFailureNotViolation) {
+  // Permanently crash every target: both partner domains die, the run
+  // must surface the typed exhaustion — and the fsck gate still passes.
+  CampaignRunner runner(quick_config());
+  FailureSchedule sched;
+  sched.params = runner.schedule_params(0);
+  for (uint32_t n = 0; n < sched.params.storage_nodes; ++n) {
+    FailureEvent e;
+    e.id = n;
+    e.kind = FaultKind::kTargetCrash;
+    e.victim = n;
+    e.at = 1 * kMillisecond;
+    e.until = 0;  // permanent
+    sched.events.push_back(e);
+  }
+  const chaos::RunOutcome out = runner.run_schedule(sched);
+  EXPECT_EQ(out.verdict, Verdict::kTypedFailure)
+      << out.status.to_string();
+  EXPECT_FALSE(out.violation());
+  EXPECT_EQ(chaos::verdict_exit_code(out.verdict), chaos::kExitTypedFailure);
+}
+
+TEST(CampaignTest, SubsetRestrictsInjection) {
+  CampaignRunner runner(quick_config());
+  const FailureSchedule sched =
+      chaos::generate_schedule(runner.schedule_params(3));
+  ASSERT_GE(sched.events.size(), 2u);
+  const std::vector<uint32_t> subset = {sched.events[0].id};
+  const chaos::RunOutcome out = runner.run_schedule(sched, &subset);
+  EXPECT_LE(out.faults.applied, 1u);
+  EXPECT_FALSE(out.violation());
+}
+
+TEST(CampaignTest, ReproducerLineNamesSeedAndSubset) {
+  FailureSchedule sched;
+  sched.params.seed = 0x2A;
+  sched.events.resize(10);
+  // Whole-schedule reproducer: just the seed, no --events filter.
+  const std::string all = chaos::reproducer_line(
+      sched, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_NE(all.find("--replay-seed 0x2a"), std::string::npos);
+  EXPECT_EQ(all.find("--events"), std::string::npos);
+  const std::string some = chaos::reproducer_line(sched, {1, 4, 7});
+  EXPECT_NE(some.find("--replay-seed 0x2a"), std::string::npos);
+  EXPECT_NE(some.find("--events 1,4,7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nvmecr

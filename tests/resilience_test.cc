@@ -265,6 +265,83 @@ TEST(HysteresisTest, HeartbeatStateMachine) {
   EXPECT_EQ(monitor.state(node), TargetState::kDead);
 }
 
+// A target that flaps just under the hysteresis boundary — repeated
+// outages two probe periods long against dead_after_misses = 3 — must
+// oscillate healthy <-> suspect (one false alarm per flap, never a
+// death), and once it finally dies for real and heals, converge to
+// healthy. The whole dance must be deterministic across two runs.
+TEST(HysteresisTest, FlappingTargetConvergesWithBoundedFalseAlarms) {
+  struct Outcome {
+    uint64_t transitions = 0;
+    uint64_t false_alarms = 0;
+    uint64_t deaths = 0;
+    TargetState final_state = TargetState::kDead;
+  };
+  constexpr uint32_t kFlaps = 6;
+  auto run_flap_scenario = [&]() {
+    Cluster cluster(make_spec(2, 2));
+    obs::MetricsRegistry metrics;
+    obs::Observer o;
+    o.metrics = &metrics;
+    HealthMonitor monitor(cluster.engine(), cluster.topology(),
+                          HealthParams{.dead_after_misses = 3,
+                                       .heartbeat_period = 100'000});
+    monitor.set_observer(o);
+    const fabric::NodeId node = cluster.storage_nodes()[0];
+    monitor.track(node);
+
+    // Probes land at multiples of 100us. Each flap window [150,350)us
+    // (mod 600us) eats exactly two probes: suspect, then recovery —
+    // one false alarm, never a death.
+    nvmf::NvmfTarget& target = cluster.target(0);
+    for (uint32_t i = 0; i < kFlaps; ++i) {
+      const SimTime base = static_cast<SimTime>(i) * 600'000;
+      target.schedule_crash(base + 150'000, base + 350'000);
+    }
+    // Then one real outage spanning three probes: declared dead, comes
+    // back, and (after the healer's report) converges to healthy.
+    const SimTime real = static_cast<SimTime>(kFlaps) * 600'000;
+    target.schedule_crash(real + 150'000, real + 450'000);
+
+    cluster.engine().spawn(monitor.heartbeat(
+        [&](fabric::NodeId n, SimTime t) {
+          return cluster.target(cluster.storage_ssd_index(n)).alive(t);
+        },
+        /*until=*/real + 1 * kMillisecond));
+    cluster.engine().run();
+
+    EXPECT_EQ(monitor.state(node), TargetState::kHealing);
+    monitor.note_healed(node);
+
+    auto counter = [&metrics](const char* name) -> uint64_t {
+      const obs::Counter* c = metrics.find_counter(name);
+      return c != nullptr ? c->value() : 0;
+    };
+    Outcome out;
+    out.transitions = monitor.transitions();
+    out.false_alarms = counter("resilience.false_alarms");
+    out.deaths = counter("resilience.deaths");
+    out.final_state = monitor.state(node);
+    return out;
+  };
+
+  const Outcome a = run_flap_scenario();
+  EXPECT_EQ(a.final_state, TargetState::kHealthy);
+  // Bounded: exactly one false alarm per flap — a flap does not spiral
+  // into extra transitions, and only the real outage registers a death.
+  EXPECT_EQ(a.false_alarms, kFlaps);
+  EXPECT_EQ(a.deaths, 1u);
+  // Per flap: healthy->suspect->healthy; the real outage adds
+  // suspect, dead, healing, healthy.
+  EXPECT_EQ(a.transitions, 2u * kFlaps + 4u);
+
+  const Outcome b = run_flap_scenario();
+  EXPECT_EQ(a.transitions, b.transitions);
+  EXPECT_EQ(a.false_alarms, b.false_alarms);
+  EXPECT_EQ(a.deaths, b.deaths);
+  EXPECT_EQ(b.final_state, TargetState::kHealthy);
+}
+
 // ---------------------------------------------------------------------------
 // Balancer domain exclusion (satellite b)
 
